@@ -1,0 +1,70 @@
+"""Section 4.7: model costs — training time, prediction latency, model size.
+
+The paper reports ~39 minutes of GPU training for 100 epochs over 90,000
+queries, prediction latency in the order of a few milliseconds per query and
+serialized model sizes of 1.6 / 1.6 / 2.6 MiB for the no-samples, #samples
+and bitmaps variants.  This benchmark reports the same three quantities for
+the reproduction at its (smaller) experiment scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import FeaturizationVariant
+
+VARIANTS = (
+    FeaturizationVariant.NO_SAMPLES,
+    FeaturizationVariant.NUM_SAMPLES,
+    FeaturizationVariant.BITMAPS,
+)
+
+
+def test_section47_model_costs(context, write_result, benchmark):
+    lines = [
+        f"{'variant':<24} {'parameters':>12} {'size (KiB)':>12} "
+        f"{'train (s)':>10} {'ms / query':>12}"
+    ]
+    timings = {}
+    for variant in VARIANTS:
+        estimator = context.trained_mscn(variant)
+        queries = [labelled.query for labelled in context.synthetic_workload[:200]]
+        _, timing = estimator.timed_estimate_many(queries)
+        timings[variant] = timing
+        lines.append(
+            f"{estimator.name:<24} {estimator.model_num_parameters():>12,d} "
+            f"{estimator.model_num_bytes() / 1024:>12.1f} "
+            f"{estimator.training_result.training_seconds:>10.1f} "
+            f"{timing.milliseconds_per_query:>12.3f}"
+        )
+    report = "\n".join(lines)
+    write_result("section47_model_costs", report)
+
+    # The bitmaps variant must be the largest model (its table feature vector
+    # embeds the full bitmap), mirroring the paper's 2.6 MiB vs 1.6 MiB.
+    sizes = {v: context.trained_mscn(v).model_num_bytes() for v in VARIANTS}
+    assert sizes[FeaturizationVariant.BITMAPS] > sizes[FeaturizationVariant.NO_SAMPLES]
+    # Prediction latency stays in the milliseconds-per-query regime.
+    assert all(t.milliseconds_per_query < 100 for t in timings.values())
+
+    mscn = context.trained_mscn(FeaturizationVariant.BITMAPS)
+    queries = [labelled.query for labelled in context.synthetic_workload[:200]]
+    benchmark(lambda: mscn.estimate_many(queries))
+
+
+def test_section47_serialization_roundtrip_cost(context, tmp_path_factory, benchmark):
+    """Cost of persisting and re-loading the trained bitmaps model."""
+    from repro.core.estimator import MSCNEstimator
+
+    estimator = context.trained_mscn(FeaturizationVariant.BITMAPS)
+    directory = tmp_path_factory.mktemp("mscn-model")
+
+    def save_and_load():
+        estimator.save(directory)
+        return MSCNEstimator.load(directory, context.database)
+
+    restored = benchmark.pedantic(save_and_load, rounds=1, iterations=1)
+    probe = [labelled.query for labelled in context.synthetic_workload[:10]]
+    original = estimator.estimate_many(probe)
+    reloaded = restored.estimate_many(probe)
+    assert max(abs(original - reloaded)) < 1e-6

@@ -1,0 +1,45 @@
+"""Shared state for the benchmark harness.
+
+All benchmarks share one :class:`~repro.evaluation.experiments.ExperimentContext`
+built at the ``small`` experiment scale (see DESIGN.md): the synthetic
+database, the materialized samples, the labelled training workload and the
+trained MSCN variants are constructed once per session and reused, so each
+benchmark measures only the experiment-specific work.
+
+Every benchmark writes the paper-style table it regenerates to
+``benchmarks/results/<experiment>.txt`` (and echoes it to stdout), so the
+numbers reported in EXPERIMENTS.md can be regenerated with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.evaluation.experiments import SMALL_SCALE, ExperimentContext
+
+RESULTS_DIRECTORY = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    """The shared experiment context (database, workloads, trained models)."""
+    return ExperimentContext(scale=SMALL_SCALE)
+
+
+@pytest.fixture(scope="session")
+def write_result():
+    """Write an experiment's textual report to benchmarks/results/ and stdout."""
+
+    def _write(name: str, text: str) -> Path:
+        os.makedirs(RESULTS_DIRECTORY, exist_ok=True)
+        path = RESULTS_DIRECTORY / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n===== {name} =====\n{text}\n")
+        return path
+
+    return _write

@@ -1,0 +1,93 @@
+"""Compare MSCN against PostgreSQL-style, Random Sampling and IBJS baselines.
+
+This reproduces the *shape* of the paper's Figure 3 / Table 2 experiment at a
+configurable (default: small) scale: all four estimators are evaluated on a
+synthetic workload produced by the same generator as the training data but
+with a different random seed.
+
+Run with::
+
+    python examples/synthetic_workload_comparison.py            # small, ~3 minutes
+    python examples/synthetic_workload_comparison.py --titles 40000 --train 20000
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import MSCNConfig, MSCNEstimator, SyntheticIMDbConfig, generate_imdb
+from repro.db.sampling import MaterializedSamples
+from repro.estimators import (
+    IndexBasedJoinSamplingEstimator,
+    PostgresEstimator,
+    RandomSamplingEstimator,
+)
+from repro.evaluation.reporting import format_join_breakdown, format_summary_table
+from repro.evaluation.runner import evaluate_estimators
+from repro.workload.generator import QueryGenerator, WorkloadConfig
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--titles", type=int, default=10_000, help="synthetic titles to generate")
+    parser.add_argument("--train", type=int, default=5_000, help="number of training queries")
+    parser.add_argument("--test", type=int, default=500, help="number of evaluation queries")
+    parser.add_argument("--epochs", type=int, default=40, help="training epochs")
+    parser.add_argument("--hidden", type=int, default=128, help="hidden units")
+    parser.add_argument("--samples", type=int, default=100, help="materialized samples per table")
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    print(f"Generating database with {args.titles} titles ...")
+    database = generate_imdb(SyntheticIMDbConfig(num_titles=args.titles, seed=42))
+    samples = MaterializedSamples(database, sample_size=args.samples, seed=42)
+
+    print(f"Labelling {args.train} training and {args.test} evaluation queries ...")
+    training = QueryGenerator(
+        database, WorkloadConfig(num_queries=args.train, max_joins=2, seed=21)
+    ).generate()
+    evaluation = QueryGenerator(
+        database, WorkloadConfig(num_queries=args.test, max_joins=2, seed=99)
+    ).generate()
+
+    print("Training MSCN ...")
+    config = MSCNConfig(
+        hidden_units=args.hidden,
+        epochs=args.epochs,
+        batch_size=256,
+        num_samples=args.samples,
+        seed=42,
+    )
+    mscn = MSCNEstimator(database, config, samples=samples)
+    result = mscn.fit(training)
+    print(f"  validation mean q-error: {result.final_validation_q_error:.2f}")
+
+    estimators = [
+        PostgresEstimator(database),
+        RandomSamplingEstimator(database, samples),
+        IndexBasedJoinSamplingEstimator(database, samples),
+        mscn,
+    ]
+    print("Evaluating all estimators ...")
+    results = evaluate_estimators(estimators, evaluation)
+
+    print()
+    print(
+        format_summary_table(
+            {name: result.summary() for name, result in results.items()},
+            title="Estimation errors on the synthetic workload (cf. paper Table 2)",
+        )
+    )
+    print()
+    print(
+        format_join_breakdown(
+            results,
+            title="Signed error ratio by join count (cf. paper Figure 3, box statistics)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

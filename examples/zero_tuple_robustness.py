@@ -1,0 +1,75 @@
+"""0-tuple situations: where sampling fails and the learned model does not.
+
+Reproduces the shape of the paper's Section 4.2 / Table 3: among base-table
+queries of the synthetic workload, the subset whose materialized sample
+contains *no* qualifying tuple (because the predicates are selective) is
+exactly where purely sampling-based estimation has to fall back to an
+educated guess, while MSCN can still exploit the query features.
+
+Run with::
+
+    python examples/zero_tuple_robustness.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MSCNConfig, MSCNEstimator, SyntheticIMDbConfig, generate_imdb
+from repro.db.sampling import MaterializedSamples
+from repro.estimators import PostgresEstimator, RandomSamplingEstimator
+from repro.evaluation.reporting import format_summary_table
+from repro.evaluation.runner import evaluate_estimators
+from repro.workload.generator import QueryGenerator, WorkloadConfig
+
+
+def main() -> None:
+    print("Generating database and workloads ...")
+    database = generate_imdb(SyntheticIMDbConfig(num_titles=10_000, seed=42))
+    samples = MaterializedSamples(database, sample_size=100, seed=42)
+    training = QueryGenerator(
+        database, WorkloadConfig(num_queries=5000, max_joins=2, seed=21)
+    ).generate()
+    evaluation = QueryGenerator(
+        database, WorkloadConfig(num_queries=800, max_joins=2, seed=99)
+    ).generate()
+
+    base_table_queries = [q for q in evaluation if q.num_joins == 0]
+    zero_tuple = [
+        q
+        for q in base_table_queries
+        if samples.qualifying_count(q.query.tables[0], q.query.predicates) == 0
+    ]
+    share = 100.0 * len(zero_tuple) / max(len(base_table_queries), 1)
+    print(
+        f"{len(zero_tuple)} of {len(base_table_queries)} base-table queries "
+        f"({share:.0f}%) have empty samples (paper: 22%)"
+    )
+    if not zero_tuple:
+        print("No 0-tuple queries found; increase selectivity or reduce the sample size.")
+        return
+
+    print("Training MSCN ...")
+    config = MSCNConfig(hidden_units=128, epochs=40, batch_size=256, num_samples=100, seed=42)
+    mscn = MSCNEstimator(database, config, samples=samples)
+    mscn.fit(training)
+
+    estimators = [PostgresEstimator(database), RandomSamplingEstimator(database, samples), mscn]
+    results = evaluate_estimators(estimators, zero_tuple)
+    print()
+    print(
+        format_summary_table(
+            {name: result.summary() for name, result in results.items()},
+            title="Base-table queries with empty samples (cf. paper Table 3)",
+        )
+    )
+    true_cards = np.array([q.cardinality for q in zero_tuple], dtype=float)
+    print(
+        f"\nTrue cardinalities of these queries: median {np.median(true_cards):.0f}, "
+        f"max {true_cards.max():.0f} — selective predicates are exactly where the "
+        "sample contains no evidence."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setuptools entry point.
+
+The offline build environment lacks the ``wheel`` package, so PEP 660
+editable installs are unavailable; this shim lets ``pip install -e .`` use the
+legacy ``setup.py develop`` path.  All project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""Reproduction of *Learned Cardinalities: Estimating Correlated Joins with
+Deep Learning* (Kipf et al., CIDR 2019).
+
+The package is organised as a set of substrates plus the paper's core
+contribution:
+
+``repro.nn``
+    A small reverse-mode automatic-differentiation engine over numpy with the
+    layers, optimizers and loss functions MSCN needs.
+``repro.db``
+    An in-memory columnar relational engine: schema, predicates, joins, a
+    COUNT(*) executor used to label queries with true cardinalities,
+    materialized samples / bitmaps, hash indexes and per-column statistics.
+``repro.datasets``
+    A synthetic, correlated IMDb-like database generator (the paper's
+    evaluation dataset is the real IMDb snapshot, which is not redistributable
+    here; see DESIGN.md for the substitution rationale).
+``repro.workload``
+    The paper's random query generator (Section 3.3), the *scale* workload and
+    a JOB-light-style workload.
+``repro.core``
+    The multi-set convolutional network: featurization, normalization,
+    mini-batch padding/masking, the model itself, the trainer and the public
+    :class:`~repro.core.estimator.MSCNEstimator`.
+``repro.estimators``
+    Baselines: a PostgreSQL-style histogram estimator, Random Sampling and
+    Index-Based Join Sampling, plus a true-cardinality oracle.
+``repro.evaluation``
+    Q-error metrics, workload runners and paper-style report formatting.
+"""
+
+from repro.core.estimator import MSCNEstimator
+from repro.core.config import MSCNConfig, FeaturizationVariant
+from repro.db.query import Query, JoinCondition, Predicate
+from repro.db.schema import Schema, TableSchema, ColumnSchema, ForeignKey
+from repro.db.table import Database, Table
+from repro.datasets.imdb import SyntheticIMDbConfig, generate_imdb
+from repro.evaluation.metrics import QErrorSummary, q_error, summarize_q_errors
+from repro.workload.generator import QueryGenerator, WorkloadConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MSCNEstimator",
+    "MSCNConfig",
+    "FeaturizationVariant",
+    "Query",
+    "JoinCondition",
+    "Predicate",
+    "Schema",
+    "TableSchema",
+    "ColumnSchema",
+    "ForeignKey",
+    "Database",
+    "Table",
+    "SyntheticIMDbConfig",
+    "generate_imdb",
+    "QErrorSummary",
+    "q_error",
+    "summarize_q_errors",
+    "QueryGenerator",
+    "WorkloadConfig",
+    "__version__",
+]

@@ -1,0 +1,121 @@
+"""Mini-batch construction: zero-padding variable-sized sets plus masks.
+
+Section 3.2 of the paper: "we pad all samples with zero-valued feature
+vectors that act as dummy set elements so that all samples within a
+mini-batch have the same number of set elements.  We mask out dummy set
+elements in the averaging operation."  :class:`Batch` holds the padded
+feature tensors and the corresponding binary masks; :func:`collate` builds a
+batch from featurized queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.featurization import FeaturizedQuery
+
+__all__ = ["Batch", "collate", "iterate_minibatches"]
+
+
+@dataclass(frozen=True)
+class Batch:
+    """A padded mini-batch of featurized queries.
+
+    Feature arrays have shape ``(batch, max set size, feature width)``; mask
+    arrays have shape ``(batch, max set size)`` with ones marking real
+    elements.  ``labels`` (normalized cardinalities) and ``cardinalities``
+    (true result sizes) are optional and only present for training batches.
+    """
+
+    table_features: np.ndarray
+    table_mask: np.ndarray
+    join_features: np.ndarray
+    join_mask: np.ndarray
+    predicate_features: np.ndarray
+    predicate_mask: np.ndarray
+    labels: np.ndarray | None = None
+    cardinalities: np.ndarray | None = None
+
+    @property
+    def size(self) -> int:
+        return self.table_features.shape[0]
+
+
+def _pad_set(
+    feature_sets: Sequence[np.ndarray], feature_width: int, min_size: int = 1
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pad a list of (set size, width) arrays into a dense tensor plus mask."""
+    batch_size = len(feature_sets)
+    max_size = max([fs.shape[0] for fs in feature_sets] + [min_size])
+    features = np.zeros((batch_size, max_size, feature_width), dtype=np.float64)
+    mask = np.zeros((batch_size, max_size), dtype=np.float64)
+    for position, feature_set in enumerate(feature_sets):
+        count = feature_set.shape[0]
+        if count:
+            features[position, :count, :] = feature_set
+            mask[position, :count] = 1.0
+    return features, mask
+
+
+def collate(
+    featurized: Sequence[FeaturizedQuery],
+    labels: np.ndarray | None = None,
+    cardinalities: np.ndarray | None = None,
+) -> Batch:
+    """Assemble featurized queries (and optional labels) into a :class:`Batch`."""
+    if not featurized:
+        raise ValueError("cannot collate an empty batch")
+    table_width = featurized[0].table_features.shape[1]
+    join_width = featurized[0].join_features.shape[1]
+    predicate_width = featurized[0].predicate_features.shape[1]
+    table_features, table_mask = _pad_set([f.table_features for f in featurized], table_width)
+    join_features, join_mask = _pad_set([f.join_features for f in featurized], join_width)
+    predicate_features, predicate_mask = _pad_set(
+        [f.predicate_features for f in featurized], predicate_width
+    )
+    if labels is not None:
+        labels = np.asarray(labels, dtype=np.float64).reshape(-1, 1)
+        if labels.shape[0] != len(featurized):
+            raise ValueError("labels length does not match batch size")
+    if cardinalities is not None:
+        cardinalities = np.asarray(cardinalities, dtype=np.float64).reshape(-1, 1)
+        if cardinalities.shape[0] != len(featurized):
+            raise ValueError("cardinalities length does not match batch size")
+    return Batch(
+        table_features=table_features,
+        table_mask=table_mask,
+        join_features=join_features,
+        join_mask=join_mask,
+        predicate_features=predicate_features,
+        predicate_mask=predicate_mask,
+        labels=labels,
+        cardinalities=cardinalities,
+    )
+
+
+def iterate_minibatches(
+    featurized: Sequence[FeaturizedQuery],
+    labels: np.ndarray,
+    cardinalities: np.ndarray,
+    batch_size: int,
+    rng: np.random.Generator | None = None,
+) -> Iterator[Batch]:
+    """Yield shuffled mini-batches for one training epoch."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    count = len(featurized)
+    order = np.arange(count)
+    if rng is not None:
+        rng.shuffle(order)
+    labels = np.asarray(labels, dtype=np.float64)
+    cardinalities = np.asarray(cardinalities, dtype=np.float64)
+    for start in range(0, count, batch_size):
+        indices = order[start : start + batch_size]
+        yield collate(
+            [featurized[i] for i in indices],
+            labels=labels[indices],
+            cardinalities=cardinalities[indices],
+        )

@@ -1,0 +1,79 @@
+"""Hyperparameters and featurization variants of MSCN.
+
+The default values are the paper's best configuration from the grid search in
+Section 4.6: 100 epochs, batch size 1024, 256 hidden units, learning rate
+0.001, trained with the mean q-error loss, using 1000 materialized samples
+per table and bitmap features.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["FeaturizationVariant", "LossKind", "MSCNConfig"]
+
+
+class FeaturizationVariant(str, enum.Enum):
+    """Which sampling information is attached to each table feature vector.
+
+    Corresponds to the three model variants of Figure 4:
+
+    * ``NO_SAMPLES`` — pure query features (one-hot table id only),
+    * ``NUM_SAMPLES`` — one-hot table id plus the normalized number of
+      qualifying materialized samples,
+    * ``BITMAPS`` — one-hot table id plus the full qualifying-sample bitmap.
+    """
+
+    NO_SAMPLES = "no_samples"
+    NUM_SAMPLES = "num_samples"
+    BITMAPS = "bitmaps"
+
+
+class LossKind(str, enum.Enum):
+    """Training objectives explored in Section 4.8."""
+
+    Q_ERROR = "q_error"
+    MSE = "mse"
+    GEOMETRIC_Q_ERROR = "geometric_q_error"
+
+
+@dataclass(frozen=True)
+class MSCNConfig:
+    """Complete configuration of an MSCN estimator."""
+
+    hidden_units: int = 256
+    epochs: int = 100
+    batch_size: int = 1024
+    learning_rate: float = 1e-3
+    loss: LossKind = LossKind.Q_ERROR
+    variant: FeaturizationVariant = FeaturizationVariant.BITMAPS
+    num_samples: int = 1000
+    validation_fraction: float = 0.1
+    seed: int = 42
+    shuffle: bool = True
+
+    def __post_init__(self) -> None:
+        if self.hidden_units <= 0:
+            raise ValueError("hidden_units must be positive")
+        if self.epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0.0 <= self.validation_fraction < 1.0:
+            raise ValueError("validation_fraction must be in [0, 1)")
+        if self.num_samples <= 0:
+            raise ValueError("num_samples must be positive")
+        # Accept plain strings for convenience.
+        if not isinstance(self.loss, LossKind):
+            object.__setattr__(self, "loss", LossKind(self.loss))
+        if not isinstance(self.variant, FeaturizationVariant):
+            object.__setattr__(self, "variant", FeaturizationVariant(self.variant))
+
+    def replace(self, **overrides) -> "MSCNConfig":
+        """Return a copy of this configuration with fields replaced."""
+        from dataclasses import replace as dataclass_replace
+
+        return dataclass_replace(self, **overrides)

@@ -1,0 +1,98 @@
+"""One-hot vocabularies for tables, joins, columns and operators.
+
+Section 3.1: each table and each join is represented by a unique one-hot
+vector; predicate columns and operators are one-hot encoded as well, and the
+predicate literal is appended as a value normalized to [0, 1] using the
+column's min/max.  The vocabularies are derived from the schema alone, so an
+unseen query can always be encoded as long as it references known schema
+objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.predicates import Operator
+from repro.db.query import JoinCondition
+from repro.db.schema import Schema
+
+__all__ = ["SchemaEncoding"]
+
+
+@dataclass(frozen=True)
+class SchemaEncoding:
+    """Index assignments for every one-hot encodable schema object."""
+
+    table_index: dict[str, int]
+    join_index: dict[str, int]
+    column_index: dict[str, int]
+    operator_index: dict[str, int]
+
+    @classmethod
+    def from_schema(cls, schema: Schema) -> "SchemaEncoding":
+        table_index = {name: position for position, name in enumerate(schema.table_names)}
+        join_index = {
+            foreign_key.join_key: position
+            for position, foreign_key in enumerate(schema.join_edges())
+        }
+        column_index = {
+            f"{table}.{column}": position
+            for position, (table, column) in enumerate(schema.non_key_columns())
+        }
+        operator_index = {operator.value: position for position, operator in enumerate(Operator)}
+        return cls(
+            table_index=table_index,
+            join_index=join_index,
+            column_index=column_index,
+            operator_index=operator_index,
+        )
+
+    # -- dimensions ------------------------------------------------------
+    @property
+    def num_tables(self) -> int:
+        return len(self.table_index)
+
+    @property
+    def num_joins(self) -> int:
+        return len(self.join_index)
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.column_index)
+
+    @property
+    def num_operators(self) -> int:
+        return len(self.operator_index)
+
+    # -- encoders --------------------------------------------------------
+    def table_one_hot(self, table: str) -> np.ndarray:
+        vector = np.zeros(self.num_tables, dtype=np.float64)
+        try:
+            vector[self.table_index[table]] = 1.0
+        except KeyError:
+            raise KeyError(f"table {table!r} is not part of the encoded schema") from None
+        return vector
+
+    def join_one_hot(self, join: JoinCondition) -> np.ndarray:
+        vector = np.zeros(self.num_joins, dtype=np.float64)
+        try:
+            vector[self.join_index[join.canonical]] = 1.0
+        except KeyError:
+            raise KeyError(f"join {join.canonical!r} is not part of the encoded schema") from None
+        return vector
+
+    def column_one_hot(self, table: str, column: str) -> np.ndarray:
+        vector = np.zeros(self.num_columns, dtype=np.float64)
+        key = f"{table}.{column}"
+        try:
+            vector[self.column_index[key]] = 1.0
+        except KeyError:
+            raise KeyError(f"column {key!r} is not a predicable (non-key) column") from None
+        return vector
+
+    def operator_one_hot(self, operator: Operator) -> np.ndarray:
+        vector = np.zeros(self.num_operators, dtype=np.float64)
+        vector[self.operator_index[operator.value]] = 1.0
+        return vector

@@ -1,0 +1,124 @@
+"""Uncertainty estimation with deep ensembles (paper Section 5).
+
+The paper's discussion singles out *uncertainty estimation* — knowing when to
+trust the model — as the most appealing extension and cites deep ensembles
+(Lakshminarayanan et al., 2017) as a candidate technique.  This module
+implements that extension: an :class:`EnsembleMSCNEstimator` trains several
+MSCN models that differ only in their weight-initialization / shuffling seed
+and combines their predictions.
+
+* The ensemble estimate is the geometric mean of the member estimates (the
+  natural average for a quantity optimized under the q-error metric).
+* The uncertainty signal is the *spread*: the maximum pairwise q-error
+  between member estimates.  Members that disagree by a large factor indicate
+  a query outside the training distribution (e.g. more joins than seen during
+  training), which is exactly when the paper suggests falling back to a
+  traditional estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import MSCNConfig
+from repro.core.estimator import MSCNEstimator
+from repro.core.trainer import TrainingResult
+from repro.db.query import Query
+from repro.db.sampling import MaterializedSamples
+from repro.db.table import Database
+from repro.estimators.base import CardinalityEstimator
+from repro.workload.generator import LabelledQuery
+
+__all__ = ["EnsembleEstimate", "EnsembleMSCNEstimator"]
+
+
+@dataclass(frozen=True)
+class EnsembleEstimate:
+    """An ensemble prediction with its disagreement-based uncertainty."""
+
+    cardinality: float
+    member_estimates: tuple[float, ...]
+
+    @property
+    def spread(self) -> float:
+        """Maximum pairwise q-error between member estimates (>= 1)."""
+        lowest = min(self.member_estimates)
+        highest = max(self.member_estimates)
+        return max(highest, 1.0) / max(lowest, 1.0)
+
+    def is_confident(self, max_spread: float = 2.0) -> bool:
+        """Whether all members agree within ``max_spread``."""
+        return self.spread <= max_spread
+
+
+class EnsembleMSCNEstimator(CardinalityEstimator):
+    """An ensemble of independently initialized MSCN models.
+
+    Parameters
+    ----------
+    database, config, samples:
+        As for :class:`~repro.core.estimator.MSCNEstimator`; all members share
+        the same materialized samples and featurization.
+    num_members:
+        Ensemble size (the deep-ensembles paper uses around five members).
+    """
+
+    name = "MSCN ensemble"
+
+    def __init__(
+        self,
+        database: Database,
+        config: MSCNConfig | None = None,
+        samples: MaterializedSamples | None = None,
+        num_members: int = 3,
+    ):
+        if num_members < 2:
+            raise ValueError("an ensemble needs at least two members")
+        self.config = config if config is not None else MSCNConfig()
+        base_samples = samples
+        self.members: list[MSCNEstimator] = []
+        for member_index in range(num_members):
+            member_config = self.config.replace(seed=self.config.seed + member_index)
+            member = MSCNEstimator(database, member_config, samples=base_samples)
+            # All members share one sample set so their featurizations agree.
+            base_samples = member.samples if base_samples is None else base_samples
+            self.members.append(member)
+        self.name = f"MSCN ensemble ({num_members} members)"
+
+    # ------------------------------------------------------------------
+    def fit(self, training_queries: list[LabelledQuery]) -> list[TrainingResult]:
+        """Train every member on the same labelled queries."""
+        return [member.fit(training_queries) for member in self.members]
+
+    def estimate_with_uncertainty(self, query: Query) -> EnsembleEstimate:
+        """Ensemble estimate plus the member disagreement for one query."""
+        member_estimates = tuple(float(member.estimate(query)) for member in self.members)
+        geometric_mean = float(np.exp(np.mean(np.log(np.maximum(member_estimates, 1.0)))))
+        return EnsembleEstimate(
+            cardinality=max(geometric_mean, 1.0), member_estimates=member_estimates
+        )
+
+    def estimate(self, query: Query) -> float:
+        return self.estimate_with_uncertainty(query).cardinality
+
+    def estimate_many_with_uncertainty(self, queries: list[Query]) -> list[EnsembleEstimate]:
+        """Vectorized ensemble estimates (one member forward pass per model)."""
+        if not queries:
+            return []
+        per_member = np.vstack([member.estimate_many(queries) for member in self.members])
+        geometric_means = np.exp(np.mean(np.log(np.maximum(per_member, 1.0)), axis=0))
+        return [
+            EnsembleEstimate(
+                cardinality=float(max(geometric_means[index], 1.0)),
+                member_estimates=tuple(float(value) for value in per_member[:, index]),
+            )
+            for index in range(len(queries))
+        ]
+
+    def estimate_many(self, queries: list[Query]) -> np.ndarray:
+        return np.array(
+            [e.cardinality for e in self.estimate_many_with_uncertainty(queries)],
+            dtype=np.float64,
+        )

@@ -1,0 +1,157 @@
+"""Query featurization: queries become collections of feature-vector sets.
+
+Following Sections 3.1 and 3.4 of the paper, a query ``(T_q, J_q, P_q)``
+becomes three sets of fixed-width vectors:
+
+* one vector per table — a one-hot table id, optionally followed by the
+  normalized number of qualifying materialized samples or the full
+  qualifying-sample bitmap,
+* one vector per join — a one-hot join id,
+* one vector per predicate — one-hot column id, one-hot operator id and the
+  literal normalized to [0, 1] with the column's min/max.
+
+Queries without joins or without predicates simply have empty join/predicate
+sets; the batching layer pads them and the model's masked average ignores the
+padding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import FeaturizationVariant
+from repro.core.encoding import SchemaEncoding
+from repro.core.normalization import ValueNormalizer
+from repro.db.query import Query
+from repro.db.sampling import MaterializedSamples
+
+__all__ = ["FeaturizedQuery", "QueryFeaturizer"]
+
+
+@dataclass(frozen=True)
+class FeaturizedQuery:
+    """Feature sets of a single query.
+
+    Each attribute is a 2-D array of shape ``(set size, feature width)``; the
+    join and predicate arrays may have zero rows.
+    """
+
+    table_features: np.ndarray
+    join_features: np.ndarray
+    predicate_features: np.ndarray
+
+    @property
+    def num_tables(self) -> int:
+        return self.table_features.shape[0]
+
+    @property
+    def num_joins(self) -> int:
+        return self.join_features.shape[0]
+
+    @property
+    def num_predicates(self) -> int:
+        return self.predicate_features.shape[0]
+
+
+class QueryFeaturizer:
+    """Turns queries into :class:`FeaturizedQuery` instances.
+
+    Parameters
+    ----------
+    encoding:
+        One-hot vocabularies derived from the schema.
+    value_normalizer:
+        Per-column min/max bounds for literal normalization.
+    samples:
+        Materialized base-table samples; required for the ``NUM_SAMPLES`` and
+        ``BITMAPS`` variants, ignored by ``NO_SAMPLES``.
+    variant:
+        Which sampling enrichment to attach to table vectors (Figure 4).
+    """
+
+    def __init__(
+        self,
+        encoding: SchemaEncoding,
+        value_normalizer: ValueNormalizer,
+        samples: MaterializedSamples | None = None,
+        variant: FeaturizationVariant = FeaturizationVariant.BITMAPS,
+    ):
+        variant = FeaturizationVariant(variant)
+        if variant is not FeaturizationVariant.NO_SAMPLES and samples is None:
+            raise ValueError(f"variant {variant.value!r} requires materialized samples")
+        self.encoding = encoding
+        self.value_normalizer = value_normalizer
+        self.samples = samples
+        self.variant = variant
+
+    # -- feature widths --------------------------------------------------
+    @property
+    def sample_feature_width(self) -> int:
+        if self.variant is FeaturizationVariant.NO_SAMPLES:
+            return 0
+        if self.variant is FeaturizationVariant.NUM_SAMPLES:
+            return 1
+        return self.samples.sample_size  # BITMAPS
+
+    @property
+    def table_feature_width(self) -> int:
+        return self.encoding.num_tables + self.sample_feature_width
+
+    @property
+    def join_feature_width(self) -> int:
+        # A query without joins still needs a non-degenerate feature width so
+        # the join module has well-defined parameters.
+        return max(self.encoding.num_joins, 1)
+
+    @property
+    def predicate_feature_width(self) -> int:
+        return self.encoding.num_columns + self.encoding.num_operators + 1
+
+    # -- featurization ---------------------------------------------------
+    def featurize(self, query: Query) -> FeaturizedQuery:
+        """Featurize one query (tables, joins, predicates)."""
+        table_rows = [self._table_vector(query, table) for table in query.tables]
+        join_rows = [self._join_vector(join) for join in query.joins]
+        predicate_rows = [self._predicate_vector(predicate) for predicate in query.predicates]
+        return FeaturizedQuery(
+            table_features=np.vstack(table_rows)
+            if table_rows
+            else np.zeros((0, self.table_feature_width)),
+            join_features=np.vstack(join_rows)
+            if join_rows
+            else np.zeros((0, self.join_feature_width)),
+            predicate_features=np.vstack(predicate_rows)
+            if predicate_rows
+            else np.zeros((0, self.predicate_feature_width)),
+        )
+
+    def featurize_many(self, queries: list[Query]) -> list[FeaturizedQuery]:
+        return [self.featurize(query) for query in queries]
+
+    # -- per-element vectors ---------------------------------------------
+    def _table_vector(self, query: Query, table: str) -> np.ndarray:
+        one_hot = self.encoding.table_one_hot(table)
+        if self.variant is FeaturizationVariant.NO_SAMPLES:
+            return one_hot
+        predicates = query.predicates_on(table)
+        if self.variant is FeaturizationVariant.NUM_SAMPLES:
+            count = self.samples.qualifying_count(table, predicates)
+            fraction = count / self.samples.sample_size
+            return np.concatenate((one_hot, [fraction]))
+        bitmap = self.samples.bitmap(table, predicates).astype(np.float64)
+        return np.concatenate((one_hot, bitmap))
+
+    def _join_vector(self, join) -> np.ndarray:
+        vector = np.zeros(self.join_feature_width, dtype=np.float64)
+        vector[: self.encoding.num_joins] = self.encoding.join_one_hot(join)
+        return vector
+
+    def _predicate_vector(self, predicate) -> np.ndarray:
+        column_one_hot = self.encoding.column_one_hot(predicate.table, predicate.column)
+        operator_one_hot = self.encoding.operator_one_hot(predicate.operator)
+        normalized_value = self.value_normalizer.normalize(
+            predicate.table, predicate.column, predicate.value
+        )
+        return np.concatenate((column_one_hot, operator_one_hot, [normalized_value]))

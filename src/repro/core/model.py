@@ -1,0 +1,108 @@
+"""The multi-set convolutional network (MSCN) architecture (Section 3.2).
+
+The model has one two-layer MLP per set (tables, joins, predicates) applied to
+every set element with shared parameters; element outputs are averaged per
+set (ignoring padding), the three set representations are concatenated, and a
+final two-layer output MLP with a sigmoid produces a scalar in [0, 1] — the
+normalized cardinality prediction::
+
+    w_T   = 1/|T_q| * sum_t MLP_T(v_t)
+    w_J   = 1/|J_q| * sum_j MLP_J(v_j)
+    w_P   = 1/|P_q| * sum_p MLP_P(v_p)
+    w_out = MLP_out([w_T, w_J, w_P])
+
+Average pooling (rather than sum pooling) is used so the magnitude of the set
+representation does not depend on the set size, which eases generalization to
+unseen set sizes; sum pooling is available behind a flag for the ablation
+benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import masked_mean, masked_sum
+from repro.nn.layers import Linear, MLP, Module
+from repro.nn.tensor import Tensor, concatenate
+
+__all__ = ["MSCN"]
+
+
+class MSCN(Module):
+    """Multi-set convolutional network for cardinality estimation.
+
+    Parameters
+    ----------
+    table_feature_width, join_feature_width, predicate_feature_width:
+        Widths of the per-element feature vectors produced by the featurizer.
+    hidden_units:
+        Width ``d`` of all hidden layers and set representations.
+    rng:
+        Generator used for weight initialization (reproducible training runs).
+    pooling:
+        ``"mean"`` (the paper's choice) or ``"sum"`` (ablation).
+    """
+
+    def __init__(
+        self,
+        table_feature_width: int,
+        join_feature_width: int,
+        predicate_feature_width: int,
+        hidden_units: int = 256,
+        rng: np.random.Generator | None = None,
+        pooling: str = "mean",
+    ):
+        super().__init__()
+        if pooling not in {"mean", "sum"}:
+            raise ValueError("pooling must be 'mean' or 'sum'")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.table_feature_width = table_feature_width
+        self.join_feature_width = join_feature_width
+        self.predicate_feature_width = predicate_feature_width
+        self.hidden_units = hidden_units
+        self.pooling = pooling
+
+        self.table_mlp = MLP(table_feature_width, hidden_units, rng=rng)
+        self.join_mlp = MLP(join_feature_width, hidden_units, rng=rng)
+        self.predicate_mlp = MLP(predicate_feature_width, hidden_units, rng=rng)
+        self.output_hidden = Linear(3 * hidden_units, hidden_units, rng=rng)
+        self.output_final = Linear(hidden_units, 1, rng=rng, initializer="xavier")
+
+    # ------------------------------------------------------------------
+    def _set_module(self, mlp: MLP, features: np.ndarray, mask: np.ndarray) -> Tensor:
+        """Apply a per-element MLP and pool over the set axis."""
+        batch_size, max_set_size, width = features.shape
+        flat = Tensor(features.reshape(batch_size * max_set_size, width))
+        transformed = mlp(flat)
+        stacked = transformed.reshape(batch_size, max_set_size, self.hidden_units)
+        if self.pooling == "mean":
+            return masked_mean(stacked, mask)
+        return masked_sum(stacked, mask)
+
+    def forward(
+        self,
+        table_features: np.ndarray,
+        table_mask: np.ndarray,
+        join_features: np.ndarray,
+        join_mask: np.ndarray,
+        predicate_features: np.ndarray,
+        predicate_mask: np.ndarray,
+    ) -> Tensor:
+        """Predict normalized cardinalities in [0, 1]; output shape (batch, 1)."""
+        table_repr = self._set_module(self.table_mlp, table_features, table_mask)
+        join_repr = self._set_module(self.join_mlp, join_features, join_mask)
+        predicate_repr = self._set_module(self.predicate_mlp, predicate_features, predicate_mask)
+        merged = concatenate((table_repr, join_repr, predicate_repr), axis=1)
+        hidden = self.output_hidden(merged).relu()
+        return self.output_final(hidden).sigmoid()
+
+    def forward_batch(self, batch) -> Tensor:
+        """Convenience wrapper accepting a :class:`repro.core.batching.Batch`."""
+        return self.forward(
+            batch.table_features,
+            batch.table_mask,
+            batch.join_features,
+            batch.join_mask,
+            batch.predicate_features,
+            batch.predicate_mask,
+        )

@@ -1,0 +1,161 @@
+"""Training and validation loop for MSCN.
+
+The paper trains with Adam on mini-batches of padded query featurizations,
+minimizing the mean q-error of the *unnormalized* predictions (Section 3.2),
+and tracks the mean q-error on a held-out validation split after every epoch
+(Figure 6).  Mean-squared error on the normalized labels and the
+geometric-mean q-error are available as alternative objectives (Section 4.8).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.batching import Batch, collate, iterate_minibatches
+from repro.core.config import LossKind, MSCNConfig
+from repro.core.featurization import FeaturizedQuery
+from repro.core.model import MSCN
+from repro.core.normalization import CardinalityNormalizer
+from repro.nn.loss import geometric_q_error_loss, mse_loss, q_error_loss
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor, no_grad
+from repro.utils.rng import spawn_rng
+
+__all__ = ["TrainingResult", "MSCNTrainer"]
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of a training run.
+
+    ``validation_q_error_history`` holds the mean validation q-error after
+    each epoch (the series plotted in Figure 6); ``train_loss_history`` holds
+    the mean training loss per epoch.
+    """
+
+    epochs_run: int
+    training_seconds: float
+    train_loss_history: list[float] = field(default_factory=list)
+    validation_q_error_history: list[float] = field(default_factory=list)
+
+    @property
+    def final_validation_q_error(self) -> float:
+        if not self.validation_q_error_history:
+            return float("nan")
+        return self.validation_q_error_history[-1]
+
+
+class MSCNTrainer:
+    """Runs the training loop and produces cardinality predictions."""
+
+    def __init__(
+        self,
+        model: MSCN,
+        normalizer: CardinalityNormalizer,
+        config: MSCNConfig,
+    ):
+        self.model = model
+        self.normalizer = normalizer
+        self.config = config
+        self.optimizer = Adam(model.parameters(), learning_rate=config.learning_rate)
+        self._shuffle_rng = spawn_rng(config.seed, "minibatch-shuffle")
+
+    # ------------------------------------------------------------------
+    # Loss
+    # ------------------------------------------------------------------
+    def _loss(self, predictions: Tensor, batch: Batch) -> Tensor:
+        """Training loss of a batch of normalized predictions."""
+        if self.config.loss is LossKind.MSE:
+            return mse_loss(predictions, Tensor(batch.labels))
+        predicted_cardinalities = self._denormalize_tensor(predictions)
+        true_cardinalities = Tensor(batch.cardinalities)
+        if self.config.loss is LossKind.GEOMETRIC_Q_ERROR:
+            return geometric_q_error_loss(predicted_cardinalities, true_cardinalities)
+        return q_error_loss(predicted_cardinalities, true_cardinalities)
+
+    def _denormalize_tensor(self, predictions: Tensor) -> Tensor:
+        """Invert the label normalization inside the autograd graph."""
+        return (predictions * self.normalizer.scale + self.normalizer.min_log).exp()
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        train_features: Sequence[FeaturizedQuery],
+        train_cardinalities: np.ndarray,
+        validation_features: Sequence[FeaturizedQuery] | None = None,
+        validation_cardinalities: np.ndarray | None = None,
+        epochs: int | None = None,
+    ) -> TrainingResult:
+        """Train for ``epochs`` passes over the training set.
+
+        Validation data is optional; when present, the mean validation q-error
+        is recorded after every epoch.
+        """
+        epochs = epochs if epochs is not None else self.config.epochs
+        train_cardinalities = np.asarray(train_cardinalities, dtype=np.float64)
+        train_labels = self.normalizer.normalize(train_cardinalities)
+        result = TrainingResult(epochs_run=0, training_seconds=0.0)
+        start_time = time.perf_counter()
+        self.model.train()
+        for _ in range(epochs):
+            epoch_losses: list[float] = []
+            shuffle_rng = self._shuffle_rng if self.config.shuffle else None
+            for batch in iterate_minibatches(
+                train_features,
+                train_labels,
+                train_cardinalities,
+                self.config.batch_size,
+                rng=shuffle_rng,
+            ):
+                self.optimizer.zero_grad()
+                predictions = self.model.forward_batch(batch)
+                loss = self._loss(predictions, batch)
+                loss.backward()
+                self.optimizer.step()
+                epoch_losses.append(loss.item())
+            result.train_loss_history.append(float(np.mean(epoch_losses)))
+            result.epochs_run += 1
+            if validation_features is not None and validation_cardinalities is not None:
+                result.validation_q_error_history.append(
+                    self.mean_q_error(validation_features, validation_cardinalities)
+                )
+        result.training_seconds = time.perf_counter() - start_time
+        self.model.eval()
+        return result
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def predict(self, features: Sequence[FeaturizedQuery], batch_size: int | None = None) -> np.ndarray:
+        """Predict cardinalities for featurized queries (denormalized, >= 1)."""
+        if not features:
+            return np.empty(0, dtype=np.float64)
+        batch_size = batch_size if batch_size is not None else self.config.batch_size
+        outputs: list[np.ndarray] = []
+        self.model.eval()
+        with no_grad():
+            for start in range(0, len(features), batch_size):
+                batch = collate(list(features[start : start + batch_size]))
+                predictions = self.model.forward_batch(batch)
+                outputs.append(predictions.numpy().reshape(-1))
+        normalized = np.concatenate(outputs)
+        return self.normalizer.denormalize(normalized)
+
+    def mean_q_error(
+        self, features: Sequence[FeaturizedQuery], cardinalities: np.ndarray
+    ) -> float:
+        """Mean q-error of the current model on a labelled feature set."""
+        from repro.evaluation.metrics import q_error
+
+        predictions = self.predict(features)
+        cardinalities = np.asarray(cardinalities, dtype=np.float64)
+        errors = [
+            q_error(prediction, truth) for prediction, truth in zip(predictions, cardinalities)
+        ]
+        return float(np.mean(errors))

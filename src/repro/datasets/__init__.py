@@ -1,0 +1,17 @@
+"""Dataset generation.
+
+The paper evaluates on a snapshot of the real Internet Movie Database (IMDb),
+which cannot be downloaded in this offline environment.
+:mod:`repro.datasets.imdb` generates a synthetic database with the same star
+schema around ``title``, skewed value distributions and — crucially —
+*join-crossing correlations*, which are the phenomenon the paper's estimator
+is designed to capture (see DESIGN.md for the full substitution argument).
+"""
+
+from repro.datasets.imdb import (
+    SyntheticIMDbConfig,
+    generate_imdb,
+    imdb_schema,
+)
+
+__all__ = ["SyntheticIMDbConfig", "generate_imdb", "imdb_schema"]

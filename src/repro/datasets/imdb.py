@@ -1,0 +1,457 @@
+"""Synthetic, correlated IMDb-like database.
+
+The generated schema mirrors the tables JOB-light touches: a central ``title``
+dimension and five fact tables referencing it through ``movie_id``:
+
+* ``movie_companies`` (company_id, company_type_id)
+* ``cast_info`` (person_id, role_id, nr_order)
+* ``movie_info`` (info_type_id)
+* ``movie_info_idx`` (info_type_id)
+* ``movie_keyword`` (keyword_id)
+
+Real IMDb is difficult for cardinality estimators because of skew and
+*join-crossing correlations* (the paper's example: French actors appear more
+often in romantic movies).  The generator plants analogous structure:
+
+* ``production_year`` is skewed towards recent years; ``kind_id`` is skewed
+  towards movies and TV episodes.
+* Each company has an *era*: movies choose companies whose era matches their
+  production year, so ``movie_companies.company_id`` correlates with
+  ``title.production_year`` across the join.
+* Cast sizes depend on ``kind_id`` and ``production_year`` (feature films and
+  recent titles have larger casts), so the fan-out of ``cast_info`` — and the
+  role mix — correlates with title attributes.
+* Keywords are drawn from kind-specific vocabularies, correlating
+  ``movie_keyword.keyword_id`` with ``title.kind_id``.
+* The amount of ``movie_info`` per title grows with recency.
+
+These correlations are exactly what breaks the independence assumption of the
+PostgreSQL-style baseline and what sampling cannot see once a selective
+predicate empties the sample, so the qualitative comparisons of the paper's
+evaluation carry over to the synthetic data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.schema import ColumnSchema, ForeignKey, Schema, TableSchema
+from repro.db.table import Database, Table
+from repro.utils.rng import spawn_rng
+
+__all__ = ["SyntheticIMDbConfig", "imdb_schema", "generate_imdb"]
+
+_MIN_YEAR = 1880
+_MAX_YEAR = 2019
+_NUM_KINDS = 7  # movie, tv series, tv episode, video, tv movie, video game, short
+
+
+@dataclass(frozen=True)
+class SyntheticIMDbConfig:
+    """Size and skew knobs of the synthetic IMDb generator.
+
+    The defaults generate a database of roughly 250k tuples, small enough to
+    label tens of thousands of training queries on a laptop while preserving
+    the skew/correlation structure.  ``scale`` multiplies ``num_titles`` (and
+    with it every fact table) without touching the value distributions.
+    """
+
+    num_titles: int = 20_000
+    num_companies: int = 2_000
+    num_persons: int = 50_000
+    num_keywords: int = 5_000
+    num_info_types: int = 110
+    mean_companies_per_title: float = 2.2
+    mean_cast_per_title: float = 4.0
+    mean_info_per_title: float = 3.0
+    mean_info_idx_per_title: float = 1.4
+    mean_keywords_per_title: float = 2.5
+    seed: int = 42
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_titles <= 0:
+            raise ValueError("num_titles must be positive")
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+
+    @property
+    def effective_titles(self) -> int:
+        return max(int(round(self.num_titles * self.scale)), 10)
+
+
+def imdb_schema() -> Schema:
+    """The star schema shared by the generator, the workloads and JOB-light."""
+    title = TableSchema(
+        name="title",
+        columns=(
+            ColumnSchema("id", "primary_key"),
+            ColumnSchema("kind_id"),
+            ColumnSchema("production_year"),
+            ColumnSchema("phonetic_code"),
+            ColumnSchema("season_nr"),
+            ColumnSchema("episode_nr"),
+        ),
+    )
+    movie_companies = TableSchema(
+        name="movie_companies",
+        columns=(
+            ColumnSchema("id", "primary_key"),
+            ColumnSchema("movie_id", "foreign_key"),
+            ColumnSchema("company_id"),
+            ColumnSchema("company_type_id"),
+        ),
+    )
+    cast_info = TableSchema(
+        name="cast_info",
+        columns=(
+            ColumnSchema("id", "primary_key"),
+            ColumnSchema("movie_id", "foreign_key"),
+            ColumnSchema("person_id"),
+            ColumnSchema("role_id"),
+            ColumnSchema("nr_order"),
+        ),
+    )
+    movie_info = TableSchema(
+        name="movie_info",
+        columns=(
+            ColumnSchema("id", "primary_key"),
+            ColumnSchema("movie_id", "foreign_key"),
+            ColumnSchema("info_type_id"),
+        ),
+    )
+    movie_info_idx = TableSchema(
+        name="movie_info_idx",
+        columns=(
+            ColumnSchema("id", "primary_key"),
+            ColumnSchema("movie_id", "foreign_key"),
+            ColumnSchema("info_type_id"),
+        ),
+    )
+    movie_keyword = TableSchema(
+        name="movie_keyword",
+        columns=(
+            ColumnSchema("id", "primary_key"),
+            ColumnSchema("movie_id", "foreign_key"),
+            ColumnSchema("keyword_id"),
+        ),
+    )
+    fact_tables = ("movie_companies", "cast_info", "movie_info", "movie_info_idx", "movie_keyword")
+    foreign_keys = tuple(
+        ForeignKey(table=name, column="movie_id", ref_table="title", ref_column="id")
+        for name in fact_tables
+    )
+    return Schema(
+        tables=(title, movie_companies, cast_info, movie_info, movie_info_idx, movie_keyword),
+        foreign_keys=foreign_keys,
+    )
+
+
+# ----------------------------------------------------------------------
+# Generation helpers
+# ----------------------------------------------------------------------
+def _skewed_years(rng: np.random.Generator, count: int) -> np.ndarray:
+    """Production years skewed towards the recent past (like real IMDb)."""
+    # A Beta(5, 1.5) pushed onto the year range puts most mass after ~1980.
+    fractions = rng.beta(5.0, 1.5, size=count)
+    years = _MIN_YEAR + np.round(fractions * (_MAX_YEAR - _MIN_YEAR)).astype(np.int64)
+    return np.clip(years, _MIN_YEAR, _MAX_YEAR)
+
+
+def _zipf_choice(
+    rng: np.random.Generator, population: int, count: int, exponent: float = 1.1
+) -> np.ndarray:
+    """Draw ``count`` ids from ``[1, population]`` with a Zipf-like skew."""
+    ranks = np.arange(1, population + 1, dtype=np.float64)
+    weights = 1.0 / ranks**exponent
+    weights /= weights.sum()
+    return rng.choice(population, size=count, p=weights).astype(np.int64) + 1
+
+
+def _fanout_counts(rng: np.random.Generator, means: np.ndarray) -> np.ndarray:
+    """Per-title fan-out counts with Poisson variation around ``means``."""
+    return rng.poisson(np.clip(means, 0.05, None)).astype(np.int64)
+
+
+def generate_imdb(config: SyntheticIMDbConfig | None = None) -> Database:
+    """Generate a synthetic IMDb-like :class:`~repro.db.table.Database`."""
+    config = config if config is not None else SyntheticIMDbConfig()
+    schema = imdb_schema()
+    num_titles = config.effective_titles
+
+    title_rng = spawn_rng(config.seed, "title")
+    title_ids = np.arange(1, num_titles + 1, dtype=np.int64)
+    production_year = _skewed_years(title_rng, num_titles)
+    # kind_id: 1=movie, 2=tv series, 3=tv episode, 4=video, 5=tv movie, 6=video game, 7=short
+    kind_probabilities = np.array([0.35, 0.05, 0.30, 0.08, 0.06, 0.04, 0.12])
+    kind_id = title_rng.choice(_NUM_KINDS, size=num_titles, p=kind_probabilities) + 1
+    # Within-table correlation: the phonetic code is concentrated in a
+    # kind- and decade-specific slice of the code space (with noise), so a
+    # conjunction of predicates on (kind_id, production_year, phonetic_code)
+    # violates the attribute-value-independence assumption.
+    decade = (production_year - _MIN_YEAR) // 10
+    code_center = (kind_id * 137 + decade * 61) % 1_900
+    code_noise = np.abs(title_rng.normal(0.0, 12.0, size=num_titles)).astype(np.int64)
+    phonetic_code = np.clip(code_center + code_noise, 1, 2_000).astype(np.int64)
+    # Only TV series / episodes have seasons and episode numbers (another
+    # within-table correlation with kind_id).
+    is_episode = np.isin(kind_id, (2, 3))
+    season_nr = np.where(is_episode, title_rng.integers(1, 31, size=num_titles), 0)
+    episode_nr = np.where(kind_id == 3, title_rng.integers(1, 200, size=num_titles), 0)
+
+    title_table = Table(
+        schema.table("title"),
+        {
+            "id": title_ids,
+            "kind_id": kind_id.astype(np.int64),
+            "production_year": production_year,
+            "phonetic_code": phonetic_code,
+            "season_nr": season_nr.astype(np.int64),
+            "episode_nr": episode_nr.astype(np.int64),
+        },
+    )
+
+    tables = {"title": title_table}
+    tables["movie_companies"] = _generate_movie_companies(
+        config, schema, title_ids, production_year, kind_id
+    )
+    tables["cast_info"] = _generate_cast_info(config, schema, title_ids, production_year, kind_id)
+    tables["movie_info"] = _generate_movie_info(
+        config, schema, "movie_info", config.mean_info_per_title, title_ids, production_year
+    )
+    tables["movie_info_idx"] = _generate_movie_info(
+        config,
+        schema,
+        "movie_info_idx",
+        config.mean_info_idx_per_title,
+        title_ids,
+        production_year,
+    )
+    tables["movie_keyword"] = _generate_movie_keyword(config, schema, title_ids, kind_id)
+    return Database(schema, tables)
+
+
+def _generate_movie_companies(
+    config: SyntheticIMDbConfig,
+    schema: Schema,
+    title_ids: np.ndarray,
+    production_year: np.ndarray,
+    kind_id: np.ndarray,
+) -> Table:
+    rng = spawn_rng(config.seed, "movie_companies")
+    num_titles = len(title_ids)
+    # Recent titles and feature films attract slightly more production companies.
+    year_factor = 0.5 + (production_year - _MIN_YEAR) / (_MAX_YEAR - _MIN_YEAR)
+    kind_factor = np.where(kind_id == 1, 1.3, 1.0)
+    counts = _fanout_counts(rng, config.mean_companies_per_title * year_factor * kind_factor)
+    movie_id = np.repeat(title_ids, counts)
+    total = len(movie_id)
+
+    # Join-crossing correlation: each company has an era (a centre year);
+    # movies mostly pick companies whose era is close to their production
+    # year.  The correlation is deliberately *leaky* (15% of assignments are
+    # era-independent): a mismatched company/era combination therefore has a
+    # small but usually non-zero cardinality, which is exactly the situation
+    # in which independence-based estimators over-estimate by large factors
+    # (the paper's "PostgreSQL errors are skewed towards the positive
+    # spectrum") instead of the query being discarded as empty.
+    company_rng = spawn_rng(config.seed, "company_eras")
+    company_eras = _MIN_YEAR + company_rng.beta(4.0, 1.5, size=config.num_companies) * (
+        _MAX_YEAR - _MIN_YEAR
+    )
+    company_popularity = 1.0 / np.arange(1, config.num_companies + 1, dtype=np.float64) ** 1.15
+    popularity_distribution = company_popularity / company_popularity.sum()
+    row_years = np.repeat(production_year, counts)
+    company_id = np.empty(total, dtype=np.int64)
+    # Vectorized era matching: weight each company by popularity * closeness to the row's year.
+    # Process in chunks to bound the (rows x companies) weight matrix.
+    chunk_size = 5_000
+    era_leak = 0.05
+    for start in range(0, total, chunk_size):
+        stop = min(start + chunk_size, total)
+        year_chunk = row_years[start:stop, None]
+        closeness = np.exp(-np.abs(year_chunk - company_eras[None, :]) / 5.0)
+        weights = closeness * company_popularity[None, :]
+        weights /= weights.sum(axis=1, keepdims=True)
+        weights = (1.0 - era_leak) * weights + era_leak * popularity_distribution[None, :]
+        cumulative = np.cumsum(weights, axis=1)
+        draws = rng.random((stop - start, 1))
+        company_id[start:stop] = (draws < cumulative).argmax(axis=1) + 1
+
+    # Within-table correlation: a company mostly acts in a single role
+    # (production company, distributor, ...), so company_type_id is largely a
+    # function of company_id with a little noise.
+    base_type = (company_id % 4) + 1
+    noisy = rng.random(total) < 0.15
+    company_type_id = np.where(
+        noisy, rng.integers(1, 5, size=total), base_type
+    ).astype(np.int64)
+    return Table(
+        schema.table("movie_companies"),
+        {
+            "id": np.arange(1, total + 1, dtype=np.int64),
+            "movie_id": movie_id,
+            "company_id": company_id,
+            "company_type_id": company_type_id,
+        },
+    )
+
+
+def _generate_cast_info(
+    config: SyntheticIMDbConfig,
+    schema: Schema,
+    title_ids: np.ndarray,
+    production_year: np.ndarray,
+    kind_id: np.ndarray,
+) -> Table:
+    rng = spawn_rng(config.seed, "cast_info")
+    # Feature films have larger casts than episodes/shorts; recency adds a bit.
+    kind_factor = np.select(
+        [kind_id == 1, kind_id == 3, kind_id == 7], [1.6, 0.8, 0.5], default=1.0
+    )
+    year_factor = 0.6 + 0.8 * (production_year - _MIN_YEAR) / (_MAX_YEAR - _MIN_YEAR)
+    counts = _fanout_counts(rng, config.mean_cast_per_title * kind_factor * year_factor)
+    movie_id = np.repeat(title_ids, counts)
+    total = len(movie_id)
+    # Join-crossing correlation (the paper's "French actors appear in romantic
+    # movies" analogue): performers are active in a specific era, so the pool
+    # of person_ids depends on the title's production year.  Persons are
+    # partitioned into era buckets; 85% of cast rows draw from the bucket that
+    # matches the title's era, the rest from the global (skewed) population.
+    num_era_buckets = 8
+    row_years = np.repeat(production_year, counts)
+    row_bucket = np.clip(
+        ((row_years - _MIN_YEAR) * num_era_buckets) // (_MAX_YEAR - _MIN_YEAR + 1),
+        0,
+        num_era_buckets - 1,
+    )
+    persons_per_bucket = max(config.num_persons // num_era_buckets, 1)
+    person_id = _zipf_choice(rng, config.num_persons, total, exponent=1.1)
+    era_specific = rng.random(total) < 0.93
+    if era_specific.any():
+        within_bucket = _zipf_choice(rng, persons_per_bucket, int(era_specific.sum()), exponent=1.1)
+        person_id[era_specific] = np.clip(
+            row_bucket[era_specific] * persons_per_bucket + within_bucket,
+            1,
+            config.num_persons,
+        )
+    # Role mix differs by title kind (join-crossing correlation with kind_id):
+    # feature films have proportionally more actors/actresses, episodes more
+    # "self" appearances, shorts more directors.
+    row_kind = np.repeat(kind_id, counts)
+    role_id = np.empty(total, dtype=np.int64)
+    role_profiles = {
+        1: [0.34, 0.26, 0.08, 0.08, 0.06, 0.05, 0.05, 0.04, 0.02, 0.01, 0.01],
+        3: [0.22, 0.18, 0.05, 0.05, 0.04, 0.03, 0.03, 0.02, 0.01, 0.36, 0.01],
+        7: [0.20, 0.15, 0.25, 0.10, 0.08, 0.07, 0.05, 0.04, 0.03, 0.02, 0.01],
+    }
+    default_profile = [0.28, 0.22, 0.10, 0.08, 0.07, 0.06, 0.06, 0.05, 0.04, 0.03, 0.01]
+    for kind, profile in list(role_profiles.items()) + [(None, default_profile)]:
+        mask = (row_kind == kind) if kind is not None else ~np.isin(row_kind, list(role_profiles))
+        size = int(mask.sum())
+        if size:
+            role_id[mask] = rng.choice(11, size=size, p=profile) + 1
+    # Within-table correlation: a given person tends to appear in a single
+    # role (an actor acts, a composer composes), so person_id largely
+    # determines role_id.
+    sticky = rng.random(total) < 0.8
+    role_id = np.where(sticky, (person_id % 11) + 1, role_id).astype(np.int64)
+    # Billing order correlates with role: leading roles get low nr_order.
+    nr_order = np.where(
+        role_id <= 2,
+        rng.integers(1, 11, size=total),
+        rng.integers(5, 51, size=total),
+    ).astype(np.int64)
+    return Table(
+        schema.table("cast_info"),
+        {
+            "id": np.arange(1, total + 1, dtype=np.int64),
+            "movie_id": movie_id,
+            "person_id": person_id,
+            "role_id": role_id,
+            "nr_order": nr_order,
+        },
+    )
+
+
+def _generate_movie_info(
+    config: SyntheticIMDbConfig,
+    schema: Schema,
+    table_name: str,
+    mean_fanout: float,
+    title_ids: np.ndarray,
+    production_year: np.ndarray,
+) -> Table:
+    rng = spawn_rng(config.seed, table_name)
+    year_factor = 0.4 + 1.2 * (production_year - _MIN_YEAR) / (_MAX_YEAR - _MIN_YEAR)
+    counts = _fanout_counts(rng, mean_fanout * year_factor)
+    movie_id = np.repeat(title_ids, counts)
+    total = len(movie_id)
+    # Join-crossing correlation: the info types recorded for a title depend on
+    # its era (e.g. "color info" for old titles vs "streaming availability"
+    # for recent ones): each row draws from an era-specific window of the
+    # info-type space with 30% era-independent noise.
+    row_years = np.repeat(production_year, counts)
+    era_bucket = ((row_years - _MIN_YEAR) * 4) // (_MAX_YEAR - _MIN_YEAR + 1)
+    window = max(config.num_info_types // 4, 1)
+    era_offset = era_bucket * window
+    specific = era_offset + _zipf_choice(rng, window, total, exponent=0.9)
+    generic = _zipf_choice(rng, config.num_info_types, total, exponent=0.9)
+    use_generic = rng.random(total) < 0.15
+    info_type_id = np.clip(
+        np.where(use_generic, generic, specific), 1, config.num_info_types
+    ).astype(np.int64)
+    return Table(
+        schema.table(table_name),
+        {
+            "id": np.arange(1, total + 1, dtype=np.int64),
+            "movie_id": movie_id,
+            "info_type_id": info_type_id,
+        },
+    )
+
+
+def _generate_movie_keyword(
+    config: SyntheticIMDbConfig,
+    schema: Schema,
+    title_ids: np.ndarray,
+    kind_id: np.ndarray,
+) -> Table:
+    rng = spawn_rng(config.seed, "movie_keyword")
+    counts = _fanout_counts(
+        rng, np.full(len(title_ids), config.mean_keywords_per_title, dtype=np.float64)
+    )
+    movie_id = np.repeat(title_ids, counts)
+    total = len(movie_id)
+    # Kind-specific keyword vocabularies: each kind draws from its own slice of
+    # the keyword id space (with a shared popular head), correlating keyword_id
+    # with title.kind_id across the join.
+    row_kind = np.repeat(kind_id, counts)
+    shared_head = max(config.num_keywords // 10, 1)
+    slice_width = max((config.num_keywords - shared_head) // _NUM_KINDS, 1)
+    keyword_id = np.empty(total, dtype=np.int64)
+    # Leaky mixture: 15% from a shared popular head, 20% era/kind-independent
+    # (so mismatched kind/keyword combinations stay non-empty), the rest from
+    # a kind-specific vocabulary slice.
+    source = rng.random(total)
+    use_shared = source < 0.15
+    use_any = (source >= 0.15) & (source < 0.23)
+    keyword_id[use_shared] = _zipf_choice(rng, shared_head, int(use_shared.sum()), exponent=1.2)
+    keyword_id[use_any] = _zipf_choice(rng, config.num_keywords, int(use_any.sum()), exponent=1.05)
+    specific = ~(use_shared | use_any)
+    if specific.any():
+        offsets = shared_head + (row_kind[specific] - 1) * slice_width
+        keyword_id[specific] = offsets + _zipf_choice(
+            rng, slice_width, int(specific.sum()), exponent=1.15
+        )
+    keyword_id = np.clip(keyword_id, 1, config.num_keywords)
+    return Table(
+        schema.table("movie_keyword"),
+        {
+            "id": np.arange(1, total + 1, dtype=np.int64),
+            "movie_id": movie_id,
+            "keyword_id": keyword_id,
+        },
+    )

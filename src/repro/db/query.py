@@ -1,0 +1,202 @@
+"""The query representation used throughout the library.
+
+Following Section 3.1 of the paper, a query is a collection
+``(T_q, J_q, P_q)`` of
+
+* a set of tables,
+* a set of equi-join conditions over primary/foreign keys,
+* a set of base-table predicates ``(column, op, value)``.
+
+Only SELECT COUNT(*) semantics matter for cardinality estimation, so the
+representation carries no projection list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.db.predicates import Operator
+from repro.db.schema import ForeignKey, Schema
+
+__all__ = ["Predicate", "JoinCondition", "Query"]
+
+
+@dataclass(frozen=True, order=True)
+class Predicate:
+    """A base-table filter of the form ``table.column op value``."""
+
+    table: str
+    column: str
+    operator: Operator
+    value: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.operator, Operator):
+            object.__setattr__(self, "operator", Operator.from_symbol(str(self.operator)))
+        object.__setattr__(self, "value", int(self.value))
+
+    @property
+    def qualified_column(self) -> str:
+        return f"{self.table}.{self.column}"
+
+    def to_sql(self) -> str:
+        return f"{self.table}.{self.column} {self.operator.value} {self.value}"
+
+
+@dataclass(frozen=True, order=True)
+class JoinCondition:
+    """An equi-join ``left_table.left_column = right_table.right_column``."""
+
+    left_table: str
+    left_column: str
+    right_table: str
+    right_column: str
+
+    @classmethod
+    def from_foreign_key(cls, foreign_key: ForeignKey) -> "JoinCondition":
+        return cls(
+            left_table=foreign_key.table,
+            left_column=foreign_key.column,
+            right_table=foreign_key.ref_table,
+            right_column=foreign_key.ref_column,
+        )
+
+    @property
+    def canonical(self) -> str:
+        """Direction-independent identifier; used as the join's one-hot key."""
+        left = f"{self.left_table}.{self.left_column}"
+        right = f"{self.right_table}.{self.right_column}"
+        return "=".join(sorted((left, right)))
+
+    @property
+    def tables(self) -> frozenset[str]:
+        return frozenset({self.left_table, self.right_table})
+
+    def other_table(self, table: str) -> str:
+        if table == self.left_table:
+            return self.right_table
+        if table == self.right_table:
+            return self.left_table
+        raise ValueError(f"table {table!r} does not participate in join {self.canonical}")
+
+    def column_of(self, table: str) -> str:
+        if table == self.left_table:
+            return self.left_column
+        if table == self.right_table:
+            return self.right_column
+        raise ValueError(f"table {table!r} does not participate in join {self.canonical}")
+
+    def to_sql(self) -> str:
+        return (
+            f"{self.left_table}.{self.left_column} = "
+            f"{self.right_table}.{self.right_column}"
+        )
+
+
+@dataclass(frozen=True)
+class Query:
+    """A COUNT(*) query over a set of tables, joins and predicates."""
+
+    tables: tuple[str, ...]
+    joins: tuple[JoinCondition, ...] = field(default_factory=tuple)
+    predicates: tuple[Predicate, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tables", tuple(self.tables))
+        object.__setattr__(self, "joins", tuple(self.joins))
+        object.__setattr__(self, "predicates", tuple(self.predicates))
+        if not self.tables:
+            raise ValueError("a query must reference at least one table")
+        if len(set(self.tables)) != len(self.tables):
+            raise ValueError("a query must not reference the same table twice")
+        table_set = set(self.tables)
+        for join in self.joins:
+            if not join.tables <= table_set:
+                raise ValueError(
+                    f"join {join.canonical} references tables outside the query {self.tables}"
+                )
+        for predicate in self.predicates:
+            if predicate.table not in table_set:
+                raise ValueError(
+                    f"predicate on {predicate.qualified_column} references a table "
+                    f"outside the query {self.tables}"
+                )
+
+    # -- convenience -----------------------------------------------------
+    @property
+    def num_joins(self) -> int:
+        return len(self.joins)
+
+    @property
+    def num_predicates(self) -> int:
+        return len(self.predicates)
+
+    def predicates_on(self, table: str) -> tuple[Predicate, ...]:
+        return tuple(p for p in self.predicates if p.table == table)
+
+    def validate_against(self, schema: Schema) -> None:
+        """Raise ``ValueError`` if the query references unknown schema objects."""
+        for table in self.tables:
+            if not schema.has_table(table):
+                raise ValueError(f"unknown table {table!r}")
+        for predicate in self.predicates:
+            if not schema.table(predicate.table).has_column(predicate.column):
+                raise ValueError(f"unknown column {predicate.qualified_column!r}")
+        for join in self.joins:
+            if not schema.table(join.left_table).has_column(join.left_column):
+                raise ValueError(f"unknown join column {join.left_table}.{join.left_column}")
+            if not schema.table(join.right_table).has_column(join.right_column):
+                raise ValueError(f"unknown join column {join.right_table}.{join.right_column}")
+
+    def is_connected(self) -> bool:
+        """Whether the join graph connects all referenced tables.
+
+        Queries produced by the workload generators are always connected;
+        a disconnected query implies a cross product.
+        """
+        if len(self.tables) == 1:
+            return True
+        adjacency: dict[str, set[str]] = {table: set() for table in self.tables}
+        for join in self.joins:
+            adjacency[join.left_table].add(join.right_table)
+            adjacency[join.right_table].add(join.left_table)
+        seen = {self.tables[0]}
+        frontier = [self.tables[0]]
+        while frontier:
+            current = frontier.pop()
+            for neighbour in adjacency[current]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        return len(seen) == len(self.tables)
+
+    def to_sql(self) -> str:
+        """Render the query as SQL text (for logging and examples)."""
+        from_clause = ", ".join(self.tables)
+        conditions = [join.to_sql() for join in self.joins]
+        conditions.extend(predicate.to_sql() for predicate in self.predicates)
+        sql = f"SELECT COUNT(*) FROM {from_clause}"
+        if conditions:
+            sql += " WHERE " + " AND ".join(conditions)
+        return sql + ";"
+
+    def signature(self) -> tuple:
+        """A hashable, order-independent identity used for de-duplication."""
+        return (
+            tuple(sorted(self.tables)),
+            tuple(sorted(join.canonical for join in self.joins)),
+            tuple(
+                sorted(
+                    (p.table, p.column, p.operator.value, p.value) for p in self.predicates
+                )
+            ),
+        )
+
+
+def queries_are_duplicates(first: Query, second: Query) -> bool:
+    """Whether two queries are semantically identical up to set ordering."""
+    return first.signature() == second.signature()
+
+
+__all__.append("queries_are_duplicates")

@@ -1,0 +1,178 @@
+"""Materialized base-table samples and qualifying-sample bitmaps.
+
+Section 3.4 of the paper enriches each query with, per base table, either the
+*number* of materialized sample tuples that satisfy the table's predicates or
+a *bitmap* marking which sample positions qualify.  The same samples also
+power the Random Sampling baseline and seed Index-Based Join Sampling.
+
+Samples are drawn once per database snapshot (uniformly, without replacement)
+and reused for training, inference and the baselines — mirroring the paper,
+where MSCN and Random Sampling share the same random seed / sample set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.db.predicates import evaluate_conjunction
+from repro.db.query import Predicate, Query
+from repro.db.table import Database, Table
+
+__all__ = ["TableSample", "MaterializedSamples"]
+
+
+@dataclass(frozen=True)
+class TableSample:
+    """A uniform sample of one table's rows.
+
+    ``row_indices`` are positions into the base table; ``sample_size`` is the
+    configured bitmap width (the number of slots), which may exceed the number
+    of actually sampled rows for small tables — unused slots never qualify.
+    """
+
+    table: str
+    row_indices: np.ndarray
+    table_rows: int
+    sample_size: int
+
+    @property
+    def num_sampled(self) -> int:
+        return int(len(self.row_indices))
+
+    @property
+    def scale_factor(self) -> float:
+        """Multiplier turning a qualifying-sample count into a cardinality."""
+        if self.num_sampled == 0:
+            return 0.0
+        return self.table_rows / self.num_sampled
+
+
+class MaterializedSamples:
+    """Per-table materialized samples with bitmap evaluation.
+
+    Parameters
+    ----------
+    database:
+        The database snapshot to sample.
+    sample_size:
+        Number of sample slots per table (the paper uses 1000).
+    seed:
+        Seed of the sampling RNG.  The paper notes MSCN and Random Sampling
+        share the same seed; reusing one ``MaterializedSamples`` instance for
+        both reproduces that setup.
+    """
+
+    def __init__(self, database: Database, sample_size: int = 1000, seed: int = 0):
+        if sample_size <= 0:
+            raise ValueError("sample_size must be positive")
+        self.database = database
+        self.sample_size = int(sample_size)
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        self._samples: dict[str, TableSample] = {}
+        for name in database.table_names:
+            table = database.table(name)
+            population = table.num_rows
+            take = min(self.sample_size, population)
+            rows = rng.choice(population, size=take, replace=False) if take else np.array([], int)
+            self._samples[name] = TableSample(
+                table=name,
+                row_indices=np.sort(rows.astype(np.int64)),
+                table_rows=population,
+                sample_size=self.sample_size,
+            )
+
+    @classmethod
+    def from_row_indices(
+        cls,
+        database: Database,
+        sample_size: int,
+        row_indices: Mapping[str, np.ndarray],
+        seed: int = 0,
+    ) -> "MaterializedSamples":
+        """Rebuild a sample set from previously recorded row indices.
+
+        Used when a trained estimator is re-loaded: inference must see exactly
+        the sample tuples it was trained with, not a fresh draw.
+        """
+        samples = cls(database, sample_size=sample_size, seed=seed)
+        for name in database.table_names:
+            if name not in row_indices:
+                raise ValueError(f"missing recorded sample rows for table {name!r}")
+            rows = np.sort(np.asarray(row_indices[name], dtype=np.int64))
+            table = database.table(name)
+            if rows.size and (rows.min() < 0 or rows.max() >= table.num_rows):
+                raise ValueError(f"recorded sample rows out of range for table {name!r}")
+            samples._samples[name] = TableSample(
+                table=name,
+                row_indices=rows,
+                table_rows=table.num_rows,
+                sample_size=sample_size,
+            )
+        return samples
+
+    def row_indices_by_table(self) -> dict[str, np.ndarray]:
+        """The sampled row indices of every table (for persistence)."""
+        return {name: sample.row_indices.copy() for name, sample in self._samples.items()}
+
+    # ------------------------------------------------------------------
+    def sample(self, table: str) -> TableSample:
+        try:
+            return self._samples[table]
+        except KeyError:
+            raise KeyError(f"no sample for table {table!r}") from None
+
+    def bitmap(self, table: str, predicates: Sequence[Predicate]) -> np.ndarray:
+        """Bitmap of qualifying sample positions for ``table`` under ``predicates``.
+
+        The result always has length ``sample_size``; positions beyond the
+        number of sampled rows are zero.  A table without predicates has all
+        sampled positions set (every sampled tuple qualifies).
+        """
+        sample = self.sample(table)
+        base_table: Table = self.database.table(table)
+        bitmap = np.zeros(self.sample_size, dtype=bool)
+        if sample.num_sampled == 0:
+            return bitmap
+        triples = [(p.column, p.operator, p.value) for p in predicates if p.table == table]
+        qualifying = evaluate_conjunction(base_table, triples, rows=sample.row_indices)
+        bitmap[: sample.num_sampled] = qualifying
+        return bitmap
+
+    def qualifying_count(self, table: str, predicates: Sequence[Predicate]) -> int:
+        """Number of qualifying sample tuples (the paper's ``#samples`` feature)."""
+        return int(self.bitmap(table, predicates).sum())
+
+    def qualifying_rows(self, table: str, predicates: Sequence[Predicate]) -> np.ndarray:
+        """Base-table row indices of the qualifying sample tuples."""
+        sample = self.sample(table)
+        bitmap = self.bitmap(table, predicates)
+        return sample.row_indices[bitmap[: sample.num_sampled]]
+
+    # ------------------------------------------------------------------
+    def query_bitmaps(self, query: Query) -> Mapping[str, np.ndarray]:
+        """Bitmaps for every table referenced by ``query``."""
+        return {
+            table: self.bitmap(table, query.predicates_on(table)) for table in query.tables
+        }
+
+    def query_counts(self, query: Query) -> Mapping[str, int]:
+        """Qualifying-sample counts for every table referenced by ``query``."""
+        return {
+            table: self.qualifying_count(table, query.predicates_on(table))
+            for table in query.tables
+        }
+
+    def estimate_base_cardinality(self, table: str, predicates: Iterable[Predicate]) -> float:
+        """Sampling estimate of a single table's filtered cardinality.
+
+        Returns 0.0 when no sample tuple qualifies (the caller decides how to
+        fall back — see the Random Sampling estimator).
+        """
+        predicates = list(predicates)
+        sample = self.sample(table)
+        count = self.qualifying_count(table, predicates)
+        return count * sample.scale_factor

@@ -1,0 +1,182 @@
+"""Schema metadata: tables, columns, primary keys and foreign keys.
+
+The schema is what both the query generator (Section 3.3 of the paper) and
+the featurization (Section 3.1) operate on: it defines the set of available
+tables ``T``, the set of possible joins ``J`` (one per foreign key) and the
+set of predicable columns ``P`` (the non-key columns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["ColumnSchema", "TableSchema", "ForeignKey", "Schema"]
+
+
+@dataclass(frozen=True)
+class ColumnSchema:
+    """A single integer-valued column.
+
+    ``kind`` is one of:
+
+    * ``"primary_key"`` — unique row identifier,
+    * ``"foreign_key"`` — reference to another table's primary key,
+    * ``"data"`` — a non-key attribute that predicates may filter on.
+    """
+
+    name: str
+    kind: str = "data"
+
+    def __post_init__(self) -> None:
+        if self.kind not in {"primary_key", "foreign_key", "data"}:
+            raise ValueError(f"unknown column kind {self.kind!r}")
+
+    @property
+    def is_key(self) -> bool:
+        return self.kind in {"primary_key", "foreign_key"}
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """A table definition: ordered columns plus an optional primary key."""
+
+    name: str
+    columns: tuple[ColumnSchema, ...]
+
+    def __post_init__(self) -> None:
+        names = [column.name for column in self.columns]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate column names in table {self.name!r}")
+        primary_keys = [c for c in self.columns if c.kind == "primary_key"]
+        if len(primary_keys) > 1:
+            raise ValueError(f"table {self.name!r} declares more than one primary key")
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(column.name for column in self.columns)
+
+    @property
+    def primary_key(self) -> str | None:
+        for column in self.columns:
+            if column.kind == "primary_key":
+                return column.name
+        return None
+
+    @property
+    def non_key_columns(self) -> tuple[str, ...]:
+        """Columns the query generator may place predicates on."""
+        return tuple(column.name for column in self.columns if not column.is_key)
+
+    def column(self, name: str) -> ColumnSchema:
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise KeyError(f"table {self.name!r} has no column {name!r}")
+
+    def has_column(self, name: str) -> bool:
+        return any(column.name == name for column in self.columns)
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A PK/FK relationship: ``table.column`` references ``ref_table.ref_column``."""
+
+    table: str
+    column: str
+    ref_table: str
+    ref_column: str
+
+    @property
+    def join_key(self) -> str:
+        """Canonical identifier of the join edge, independent of direction."""
+        left = f"{self.table}.{self.column}"
+        right = f"{self.ref_table}.{self.ref_column}"
+        return "=".join(sorted((left, right)))
+
+
+@dataclass(frozen=True)
+class Schema:
+    """A collection of tables plus the foreign keys linking them."""
+
+    tables: tuple[TableSchema, ...]
+    foreign_keys: tuple[ForeignKey, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        table_names = {table.name for table in self.tables}
+        if len(table_names) != len(self.tables):
+            raise ValueError("duplicate table names in schema")
+        for foreign_key in self.foreign_keys:
+            if foreign_key.table not in table_names:
+                raise ValueError(f"foreign key references unknown table {foreign_key.table!r}")
+            if foreign_key.ref_table not in table_names:
+                raise ValueError(
+                    f"foreign key references unknown table {foreign_key.ref_table!r}"
+                )
+            if not self.table(foreign_key.table).has_column(foreign_key.column):
+                raise ValueError(
+                    f"foreign key column {foreign_key.table}.{foreign_key.column} does not exist"
+                )
+            if not self.table(foreign_key.ref_table).has_column(foreign_key.ref_column):
+                raise ValueError(
+                    f"foreign key column {foreign_key.ref_table}.{foreign_key.ref_column} "
+                    "does not exist"
+                )
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(table.name for table in self.tables)
+
+    def table(self, name: str) -> TableSchema:
+        for table in self.tables:
+            if table.name == name:
+                return table
+        raise KeyError(f"schema has no table {name!r}")
+
+    def has_table(self, name: str) -> bool:
+        return any(table.name == name for table in self.tables)
+
+    # -- join graph ------------------------------------------------------
+    def join_edges(self) -> tuple[ForeignKey, ...]:
+        """All possible join edges (the paper's set ``J``)."""
+        return self.foreign_keys
+
+    def joinable_tables(self, table_name: str) -> tuple[str, ...]:
+        """Tables connected to ``table_name`` by a foreign key (either direction)."""
+        neighbours = []
+        for foreign_key in self.foreign_keys:
+            if foreign_key.table == table_name:
+                neighbours.append(foreign_key.ref_table)
+            elif foreign_key.ref_table == table_name:
+                neighbours.append(foreign_key.table)
+        return tuple(dict.fromkeys(neighbours))
+
+    def tables_in_join_graph(self) -> tuple[str, ...]:
+        """Tables that participate in at least one foreign key."""
+        names: dict[str, None] = {}
+        for foreign_key in self.foreign_keys:
+            names.setdefault(foreign_key.table)
+            names.setdefault(foreign_key.ref_table)
+        return tuple(names)
+
+    def join_edge_between(self, left: str, right: str) -> ForeignKey | None:
+        """The foreign key connecting two tables, if any."""
+        for foreign_key in self.foreign_keys:
+            endpoints = {foreign_key.table, foreign_key.ref_table}
+            if endpoints == {left, right}:
+                return foreign_key
+        return None
+
+    def iter_columns(self) -> Iterator[tuple[str, ColumnSchema]]:
+        """Yield ``(table_name, column)`` pairs over the whole schema."""
+        for table in self.tables:
+            for column in table.columns:
+                yield table.name, column
+
+    def non_key_columns(self) -> tuple[tuple[str, str], ...]:
+        """All ``(table, column)`` pairs predicates may reference."""
+        return tuple(
+            (table_name, column.name)
+            for table_name, column in self.iter_columns()
+            if not column.is_key
+        )

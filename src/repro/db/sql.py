@@ -1,0 +1,128 @@
+"""Textual query and workload formats.
+
+Two formats are provided:
+
+* ``query_to_sql`` renders a :class:`~repro.db.query.Query` as SQL text (the
+  same COUNT(*) form the paper's Figure 2 featurizes).
+* A line-oriented workload format compatible in spirit with the public
+  ``learnedcardinalities`` repository: four ``#``-separated fields holding the
+  table list, the join list, the flattened predicate list and the true
+  cardinality.  Workload files produced by the generators round-trip through
+  :func:`save_workload` / :func:`load_workload`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+from repro.db.predicates import Operator
+from repro.db.query import JoinCondition, Predicate, Query
+
+__all__ = [
+    "query_to_sql",
+    "format_workload_line",
+    "parse_workload_line",
+    "save_workload",
+    "load_workload",
+]
+
+_FIELD_SEPARATOR = "#"
+_ITEM_SEPARATOR = ","
+
+
+def query_to_sql(query: Query) -> str:
+    """SQL text of a query (delegates to :meth:`Query.to_sql`)."""
+    return query.to_sql()
+
+
+def format_workload_line(query: Query, cardinality: int) -> str:
+    """Serialize one labelled query as a single text line.
+
+    Format: ``tables#joins#predicates#cardinality`` where
+
+    * ``tables`` is a comma-separated table list,
+    * ``joins`` is a comma-separated list of ``a.x=b.y`` conditions,
+    * ``predicates`` is a flattened comma-separated list of
+      ``table.column,op,value`` triples,
+    * ``cardinality`` is the true result size.
+    """
+    tables = _ITEM_SEPARATOR.join(query.tables)
+    joins = _ITEM_SEPARATOR.join(
+        f"{join.left_table}.{join.left_column}={join.right_table}.{join.right_column}"
+        for join in query.joins
+    )
+    predicate_items: list[str] = []
+    for predicate in query.predicates:
+        predicate_items.extend(
+            (predicate.qualified_column, predicate.operator.value, str(predicate.value))
+        )
+    predicates = _ITEM_SEPARATOR.join(predicate_items)
+    return _FIELD_SEPARATOR.join((tables, joins, predicates, str(int(cardinality))))
+
+
+def parse_workload_line(line: str) -> tuple[Query, int]:
+    """Parse a line produced by :func:`format_workload_line`."""
+    parts = line.rstrip("\n").split(_FIELD_SEPARATOR)
+    if len(parts) != 4:
+        raise ValueError(f"malformed workload line (expected 4 fields): {line!r}")
+    tables_field, joins_field, predicates_field, cardinality_field = parts
+    tables = tuple(t for t in tables_field.split(_ITEM_SEPARATOR) if t)
+    if not tables:
+        raise ValueError(f"workload line has no tables: {line!r}")
+
+    joins: list[JoinCondition] = []
+    if joins_field:
+        for item in joins_field.split(_ITEM_SEPARATOR):
+            left, right = item.split("=")
+            left_table, left_column = left.split(".")
+            right_table, right_column = right.split(".")
+            joins.append(
+                JoinCondition(
+                    left_table=left_table,
+                    left_column=left_column,
+                    right_table=right_table,
+                    right_column=right_column,
+                )
+            )
+
+    predicates: list[Predicate] = []
+    if predicates_field:
+        items = predicates_field.split(_ITEM_SEPARATOR)
+        if len(items) % 3 != 0:
+            raise ValueError(f"malformed predicate list in workload line: {line!r}")
+        for position in range(0, len(items), 3):
+            qualified_column, operator_symbol, value = items[position : position + 3]
+            table, column = qualified_column.split(".")
+            predicates.append(
+                Predicate(
+                    table=table,
+                    column=column,
+                    operator=Operator.from_symbol(operator_symbol),
+                    value=int(value),
+                )
+            )
+
+    query = Query(tables=tables, joins=tuple(joins), predicates=tuple(predicates))
+    return query, int(cardinality_field)
+
+
+def save_workload(
+    labelled_queries: Iterable[tuple[Query, int]], path: str | os.PathLike
+) -> None:
+    """Write labelled queries to a workload file, one per line."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for query, cardinality in labelled_queries:
+            handle.write(format_workload_line(query, cardinality))
+            handle.write("\n")
+
+
+def load_workload(path: str | os.PathLike) -> list[tuple[Query, int]]:
+    """Read a workload file written by :func:`save_workload`."""
+    labelled: list[tuple[Query, int]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            stripped = line.strip()
+            if stripped:
+                labelled.append(parse_workload_line(stripped))
+    return labelled

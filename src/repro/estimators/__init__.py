@@ -1,0 +1,28 @@
+"""Baseline cardinality estimators used as competitors in the paper.
+
+* :class:`~repro.estimators.postgres.PostgresEstimator` — textbook
+  histogram/MCV statistics with the attribute-value-independence assumption
+  and ``1/max(nd)`` join selectivities (stand-in for PostgreSQL 10.3).
+* :class:`~repro.estimators.random_sampling.RandomSamplingEstimator` — the
+  paper's Random Sampling (RS): per-table materialized samples, independence
+  for joins, with the conjunct-wise fallback for empty samples.
+* :class:`~repro.estimators.ibjs.IndexBasedJoinSamplingEstimator` — the
+  paper's strongest baseline (IBJS): qualifying base-table samples probed
+  through PK/FK hash indexes, with the same fallback as RS.
+* :class:`~repro.estimators.true.TrueCardinalityEstimator` — an oracle used
+  in tests and sanity checks.
+"""
+
+from repro.estimators.base import CardinalityEstimator
+from repro.estimators.ibjs import IndexBasedJoinSamplingEstimator
+from repro.estimators.postgres import PostgresEstimator
+from repro.estimators.random_sampling import RandomSamplingEstimator
+from repro.estimators.true import TrueCardinalityEstimator
+
+__all__ = [
+    "CardinalityEstimator",
+    "PostgresEstimator",
+    "RandomSamplingEstimator",
+    "IndexBasedJoinSamplingEstimator",
+    "TrueCardinalityEstimator",
+]

@@ -1,0 +1,31 @@
+"""The estimator interface shared by MSCN and all baselines."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.db.query import Query
+
+__all__ = ["CardinalityEstimator"]
+
+
+class CardinalityEstimator(abc.ABC):
+    """Anything that can estimate COUNT(*) results for queries.
+
+    Implementations must return strictly positive estimates (cardinality
+    estimates of zero break the q-error metric and are never useful to an
+    optimizer; the paper's competitors clamp to one tuple as well).
+    """
+
+    #: Human-readable name used in reports.
+    name: str = "estimator"
+
+    @abc.abstractmethod
+    def estimate(self, query: Query) -> float:
+        """Estimated result cardinality of ``query`` (>= 1)."""
+
+    def estimate_many(self, queries: list[Query]) -> np.ndarray:
+        """Vectorized convenience wrapper around :meth:`estimate`."""
+        return np.array([self.estimate(query) for query in queries], dtype=np.float64)

@@ -1,0 +1,100 @@
+"""Random Sampling (RS) baseline.
+
+As described in Section 4 of the paper: RS evaluates base-table predicates on
+materialized per-table samples to estimate base-table cardinalities and
+assumes independence when estimating joins.  When no sample tuple qualifies
+for a conjunctive predicate (the 0-tuple situation), it tries to evaluate the
+conjuncts individually and multiplies their selectivities; if even a single
+conjunct has no qualifying samples it falls back to ``1 / num_distinct`` of
+the column with the most selective conjunct — an "educated guess".
+"""
+
+from __future__ import annotations
+
+from repro.db.query import Predicate, Query
+from repro.db.sampling import MaterializedSamples
+from repro.db.statistics import DatabaseStatistics
+from repro.db.table import Database
+from repro.estimators.base import CardinalityEstimator
+
+__all__ = ["RandomSamplingEstimator"]
+
+
+class RandomSamplingEstimator(CardinalityEstimator):
+    """Per-table sampling with independence across joins."""
+
+    name = "Random Sampling"
+
+    def __init__(
+        self,
+        database: Database,
+        samples: MaterializedSamples,
+        statistics: DatabaseStatistics | None = None,
+    ):
+        self.database = database
+        self.samples = samples
+        # Distinct counts are needed for the educated-guess fallback and for
+        # PK/FK join selectivities; they are catalog-level statistics every
+        # system maintains.
+        self.statistics = statistics if statistics is not None else DatabaseStatistics(database)
+
+    # ------------------------------------------------------------------
+    # Base tables
+    # ------------------------------------------------------------------
+    def base_table_selectivity(self, table: str, predicates: list[Predicate]) -> float:
+        """Estimated selectivity of a conjunction on one base table."""
+        if not predicates:
+            return 1.0
+        sample = self.samples.sample(table)
+        if sample.num_sampled == 0:
+            return self._fallback_selectivity(table, predicates)
+        qualifying = self.samples.qualifying_count(table, predicates)
+        if qualifying > 0:
+            return qualifying / sample.num_sampled
+        return self._fallback_selectivity(table, predicates)
+
+    def _fallback_selectivity(self, table: str, predicates: list[Predicate]) -> float:
+        """The paper's fallback for 0-tuple situations.
+
+        Evaluate each conjunct individually on the sample and multiply the
+        selectivities; a conjunct with no qualifying samples contributes
+        ``1 / num_distinct`` of its column (and that column is by construction
+        the most selective conjunct).
+        """
+        sample = self.samples.sample(table)
+        selectivity = 1.0
+        for predicate in predicates:
+            if sample.num_sampled > 0:
+                qualifying = self.samples.qualifying_count(table, [predicate])
+            else:
+                qualifying = 0
+            if qualifying > 0:
+                selectivity *= qualifying / sample.num_sampled
+            else:
+                distinct = max(
+                    self.statistics.column(table, predicate.column).num_distinct, 1
+                )
+                selectivity *= 1.0 / distinct
+        return selectivity
+
+    def base_table_estimate(self, query: Query, table: str) -> float:
+        predicates = list(query.predicates_on(table))
+        rows = self.database.table(table).num_rows
+        return max(rows * self.base_table_selectivity(table, predicates), 1.0)
+
+    # ------------------------------------------------------------------
+    # Joins (independence assumption)
+    # ------------------------------------------------------------------
+    def join_selectivity(self, join) -> float:
+        left = self.statistics.column(join.left_table, join.left_column)
+        right = self.statistics.column(join.right_table, join.right_column)
+        distinct = max(left.num_distinct, right.num_distinct, 1)
+        return 1.0 / distinct
+
+    def estimate(self, query: Query) -> float:
+        estimate = 1.0
+        for table in query.tables:
+            estimate *= self.base_table_estimate(query, table)
+        for join in query.joins:
+            estimate *= self.join_selectivity(join)
+        return max(estimate, 1.0)

@@ -1,0 +1,26 @@
+"""Oracle estimator returning exact cardinalities (for tests and debugging)."""
+
+from __future__ import annotations
+
+from repro.db.executor import CardinalityExecutor
+from repro.db.query import Query
+from repro.db.table import Database
+from repro.estimators.base import CardinalityEstimator
+
+__all__ = ["TrueCardinalityEstimator"]
+
+
+class TrueCardinalityEstimator(CardinalityEstimator):
+    """Returns the true cardinality by executing the query.
+
+    Its q-error is exactly 1 on every query, which makes it useful as a
+    reference point in tests of the evaluation harness.
+    """
+
+    name = "True cardinality"
+
+    def __init__(self, database: Database):
+        self._executor = CardinalityExecutor(database)
+
+    def estimate(self, query: Query) -> float:
+        return float(max(self._executor.execute(query), 1))

@@ -1,0 +1,35 @@
+"""Evaluation harness: q-error metrics, workload runners and reporting.
+
+The paper reports q-error distributions (median, 90th/95th/99th percentile,
+maximum and mean — Tables 2-4) and box plots of signed errors split by join
+count (Figures 3-5).  This package computes both from the output of any
+:class:`~repro.estimators.base.CardinalityEstimator`.
+"""
+
+from repro.evaluation.metrics import (
+    QErrorSummary,
+    q_error,
+    q_errors,
+    signed_ratio,
+    summarize_q_errors,
+)
+from repro.evaluation.runner import EvaluationResult, evaluate_estimator, evaluate_estimators
+from repro.evaluation.reporting import (
+    format_join_breakdown,
+    format_summary_table,
+    format_workload_distribution,
+)
+
+__all__ = [
+    "q_error",
+    "q_errors",
+    "signed_ratio",
+    "QErrorSummary",
+    "summarize_q_errors",
+    "EvaluationResult",
+    "evaluate_estimator",
+    "evaluate_estimators",
+    "format_summary_table",
+    "format_join_breakdown",
+    "format_workload_distribution",
+]

@@ -1,0 +1,85 @@
+"""Q-error metrics.
+
+The q-error (Moerkotte et al.) is the factor between an estimate and the true
+cardinality, ``max(est / true, true / est) >= 1``.  The paper reports the
+median, the 90th/95th/99th percentiles, the maximum and the mean of the
+q-error distribution, plus signed errors (over- vs under-estimation) for the
+box plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["q_error", "q_errors", "signed_ratio", "QErrorSummary", "summarize_q_errors"]
+
+
+def q_error(estimate: float, true_cardinality: float) -> float:
+    """Q-error of a single estimate; both quantities are clamped to >= 1."""
+    estimate = max(float(estimate), 1.0)
+    true_cardinality = max(float(true_cardinality), 1.0)
+    return max(estimate / true_cardinality, true_cardinality / estimate)
+
+
+def q_errors(estimates: Sequence[float], true_cardinalities: Sequence[float]) -> np.ndarray:
+    """Vector of q-errors for aligned estimates and true cardinalities."""
+    estimates = np.maximum(np.asarray(estimates, dtype=np.float64), 1.0)
+    true_cardinalities = np.maximum(np.asarray(true_cardinalities, dtype=np.float64), 1.0)
+    if estimates.shape != true_cardinalities.shape:
+        raise ValueError("estimates and true cardinalities must have the same length")
+    return np.maximum(estimates / true_cardinalities, true_cardinalities / estimates)
+
+
+def signed_ratio(estimates: Sequence[float], true_cardinalities: Sequence[float]) -> np.ndarray:
+    """Signed error ratio ``est / true`` (> 1 over-estimates, < 1 under-estimates).
+
+    This is the quantity the paper's box plots (Figures 3-5) show on a log
+    scale, with under-estimation below the ``1`` line and over-estimation
+    above it.
+    """
+    estimates = np.maximum(np.asarray(estimates, dtype=np.float64), 1.0)
+    true_cardinalities = np.maximum(np.asarray(true_cardinalities, dtype=np.float64), 1.0)
+    return estimates / true_cardinalities
+
+
+@dataclass(frozen=True)
+class QErrorSummary:
+    """The percentile summary the paper reports in Tables 2-4."""
+
+    count: int
+    median: float
+    percentile_90: float
+    percentile_95: float
+    percentile_99: float
+    maximum: float
+    mean: float
+
+    def as_row(self) -> tuple[float, float, float, float, float, float]:
+        """The summary as the paper's column order (median .. mean)."""
+        return (
+            self.median,
+            self.percentile_90,
+            self.percentile_95,
+            self.percentile_99,
+            self.maximum,
+            self.mean,
+        )
+
+
+def summarize_q_errors(errors: Sequence[float]) -> QErrorSummary:
+    """Percentile summary of a q-error distribution."""
+    errors = np.asarray(errors, dtype=np.float64)
+    if errors.size == 0:
+        raise ValueError("cannot summarize an empty q-error distribution")
+    return QErrorSummary(
+        count=int(errors.size),
+        median=float(np.percentile(errors, 50)),
+        percentile_90=float(np.percentile(errors, 90)),
+        percentile_95=float(np.percentile(errors, 95)),
+        percentile_99=float(np.percentile(errors, 99)),
+        maximum=float(errors.max()),
+        mean=float(errors.mean()),
+    )

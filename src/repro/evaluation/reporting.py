@@ -1,0 +1,107 @@
+"""Formatting evaluation results as the paper's tables and figures.
+
+Since this is a library (not a plotting pipeline), "figures" are rendered as
+plain-text tables: the box plots of Figures 3-5 become per-join-count
+percentile tables of the signed error ratio, and Figure 6 becomes the list of
+per-epoch validation errors.  The bench harness prints these so the paper's
+rows/series can be compared side by side with the reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.evaluation.metrics import QErrorSummary
+from repro.evaluation.runner import EvaluationResult
+from repro.workload.generator import LabelledQuery, split_by_joins
+
+__all__ = [
+    "format_summary_table",
+    "format_join_breakdown",
+    "format_workload_distribution",
+    "format_convergence_series",
+]
+
+
+def _format_value(value: float) -> str:
+    if value >= 1000:
+        return f"{value:,.0f}"
+    if value >= 100:
+        return f"{value:.0f}"
+    if value >= 10:
+        return f"{value:.1f}"
+    return f"{value:.2f}"
+
+
+def format_summary_table(summaries: Mapping[str, QErrorSummary], title: str = "") -> str:
+    """Render estimator → q-error summary as a paper-style table (Tables 2-4)."""
+    header = f"{'estimator':<28} {'median':>8} {'90th':>8} {'95th':>8} {'99th':>8} {'max':>10} {'mean':>8}"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, summary in summaries.items():
+        median, p90, p95, p99, maximum, mean = summary.as_row()
+        lines.append(
+            f"{name:<28} {_format_value(median):>8} {_format_value(p90):>8} "
+            f"{_format_value(p95):>8} {_format_value(p99):>8} "
+            f"{_format_value(maximum):>10} {_format_value(mean):>8}"
+        )
+    return "\n".join(lines)
+
+
+def format_join_breakdown(
+    results: Mapping[str, EvaluationResult], title: str = ""
+) -> str:
+    """Render per-join-count box-plot statistics (Figures 3-5) as text.
+
+    For every estimator and join count the 25th/50th/75th/95th percentiles of
+    the signed ratio ``estimate / true`` are shown (the quantities marked by
+    the paper's box boundaries and whiskers).
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    header = (
+        f"{'estimator':<28} {'joins':>5} {'p25':>10} {'median':>10} {'p75':>10} {'p95':>10}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, result in results.items():
+        percentiles = result.signed_percentiles_by_joins(percentiles=(25.0, 50.0, 75.0, 95.0))
+        for join_count, values in percentiles.items():
+            lines.append(
+                f"{name:<28} {join_count:>5} {values[25.0]:>10.3g} {values[50.0]:>10.3g} "
+                f"{values[75.0]:>10.3g} {values[95.0]:>10.3g}"
+            )
+    return "\n".join(lines)
+
+
+def format_workload_distribution(
+    workloads: Mapping[str, Sequence[LabelledQuery]], max_joins: int = 4
+) -> str:
+    """Render the join-count distribution of several workloads (Table 1)."""
+    header = (
+        f"{'workload':<12} "
+        + " ".join(f"{join_count:>6}" for join_count in range(max_joins + 1))
+        + f" {'overall':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for name, workload in workloads.items():
+        grouped = split_by_joins(list(workload))
+        counts = [len(grouped.get(join_count, [])) for join_count in range(max_joins + 1)]
+        lines.append(
+            f"{name:<12} "
+            + " ".join(f"{count:>6}" for count in counts)
+            + f" {len(workload):>8}"
+        )
+    return "\n".join(lines)
+
+
+def format_convergence_series(validation_history: Sequence[float]) -> str:
+    """Render the per-epoch validation mean q-error series (Figure 6)."""
+    lines = [f"{'epoch':>6} {'mean q-error':>14}"]
+    for epoch, value in enumerate(validation_history, start=1):
+        lines.append(f"{epoch:>6} {value:>14.3f}")
+    return "\n".join(lines)

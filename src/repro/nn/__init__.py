@@ -1,0 +1,48 @@
+"""A minimal neural-network training stack built on numpy.
+
+The paper trains MSCN with PyTorch on a GPU.  PyTorch is not available in
+this environment, so ``repro.nn`` provides the pieces MSCN actually needs:
+
+* :class:`~repro.nn.tensor.Tensor` — a reverse-mode autograd tensor with
+  broadcasting-aware gradients,
+* layers (:class:`~repro.nn.layers.Linear`, activations, ``Sequential`` and a
+  two-layer ``MLP`` used for every set module),
+* optimizers (:class:`~repro.nn.optim.Adam`, :class:`~repro.nn.optim.SGD`),
+* the loss functions discussed in Section 4.8 of the paper (mean q-error,
+  mean squared error, geometric-mean q-error),
+* model (de)serialization helpers.
+
+All gradients are validated against central finite differences in the test
+suite.
+"""
+
+from repro.nn import functional
+from repro.nn.layers import MLP, Dropout, Linear, Module, ReLU, Sequential, Sigmoid
+from repro.nn.loss import geometric_q_error_loss, mse_loss, q_error_loss
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.serialization import load_state_dict, save_state_dict, state_dict_num_bytes
+from repro.nn.tensor import Tensor, concatenate, maximum, no_grad
+
+__all__ = [
+    "Tensor",
+    "concatenate",
+    "maximum",
+    "no_grad",
+    "functional",
+    "Module",
+    "Linear",
+    "ReLU",
+    "Sigmoid",
+    "Dropout",
+    "Sequential",
+    "MLP",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "q_error_loss",
+    "mse_loss",
+    "geometric_q_error_loss",
+    "save_state_dict",
+    "load_state_dict",
+    "state_dict_num_bytes",
+]

@@ -1,0 +1,60 @@
+"""Functional helpers used by the MSCN model.
+
+The key primitive is :func:`masked_mean`, which implements the paper's
+set-pooling step: the per-element MLP outputs of a set are averaged while
+ignoring zero-padded dummy elements (Section 3.2 of the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, concatenate, maximum
+
+__all__ = ["masked_mean", "masked_sum", "relu", "sigmoid", "concatenate", "maximum"]
+
+
+def relu(tensor: Tensor) -> Tensor:
+    """Rectified linear unit, ``max(0, x)``."""
+    return tensor.relu()
+
+
+def sigmoid(tensor: Tensor) -> Tensor:
+    """Logistic sigmoid, ``1 / (1 + exp(-x))``."""
+    return tensor.sigmoid()
+
+
+def _validate_mask(values: Tensor, mask: np.ndarray) -> np.ndarray:
+    mask = np.asarray(mask, dtype=np.float64)
+    if mask.ndim == 2:
+        mask = mask[:, :, None]
+    if mask.ndim != 3 or mask.shape[:2] != values.shape[:2]:
+        raise ValueError(
+            f"mask shape {mask.shape} is incompatible with values shape {values.shape}"
+        )
+    return mask
+
+
+def masked_sum(values: Tensor, mask: np.ndarray) -> Tensor:
+    """Sum ``values`` of shape (batch, set, dim) over the set axis.
+
+    ``mask`` has shape (batch, set) or (batch, set, 1) with ones marking real
+    set elements and zeros marking padding.
+    """
+    mask = _validate_mask(values, mask)
+    return (values * Tensor(mask)).sum(axis=1)
+
+
+def masked_mean(values: Tensor, mask: np.ndarray) -> Tensor:
+    """Average ``values`` of shape (batch, set, dim) over real set elements.
+
+    Padded (masked-out) elements do not contribute.  Rows whose mask is all
+    zero (an empty set, e.g. the join set of a single-table query) produce a
+    zero vector rather than NaN — matching the reference implementation, which
+    always keeps at least one zero-vector element for empty sets.
+    """
+    mask = _validate_mask(values, mask)
+    summed = (values * Tensor(mask)).sum(axis=1)
+    counts = mask.sum(axis=1)
+    counts = np.maximum(counts, 1.0)
+    return summed * Tensor(1.0 / counts)

@@ -1,0 +1,24 @@
+"""Weight initialization schemes for :mod:`repro.nn` layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "kaiming_uniform", "zeros"]
+
+
+def xavier_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform initialization, suited to sigmoid outputs."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def kaiming_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """He/Kaiming uniform initialization, suited to ReLU hidden layers."""
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zeros initialization (used for biases)."""
+    return np.zeros(shape, dtype=np.float64)

@@ -1,0 +1,54 @@
+"""Loss functions for cardinality estimation (paper Sections 3.2 and 4.8).
+
+The paper trains MSCN to minimize the *mean q-error*: the factor between the
+estimated and the true cardinality, ``max(est / true, true / est)``.  Two
+alternatives from Section 4.8 are also provided: mean squared error on the
+normalized labels and the geometric-mean q-error (optimized as the mean of
+``log`` q-errors, which is monotonically equivalent and numerically better
+behaved).
+
+All losses operate on :class:`~repro.nn.tensor.Tensor` values so they can be
+back-propagated through the model.
+"""
+
+from __future__ import annotations
+
+from repro.nn.tensor import Tensor, maximum
+
+__all__ = ["q_error_loss", "mse_loss", "geometric_q_error_loss"]
+
+# Cardinalities are at least one tuple when used inside a q-error; predictions
+# are clamped away from zero to keep the ratio finite.
+_MIN_CARDINALITY = 1.0
+
+
+def q_error_loss(predicted_cardinalities: Tensor, true_cardinalities: Tensor) -> Tensor:
+    """Mean q-error between predicted and true cardinalities.
+
+    Both arguments hold strictly positive cardinalities (not normalized
+    labels).  The q-error of a perfect estimate is 1, so the minimum of this
+    loss is 1.
+    """
+    predicted = predicted_cardinalities.clip(_MIN_CARDINALITY, None)
+    true = true_cardinalities.clip(_MIN_CARDINALITY, None)
+    q_errors = maximum(predicted / true, true / predicted)
+    return q_errors.mean()
+
+
+def geometric_q_error_loss(predicted_cardinalities: Tensor, true_cardinalities: Tensor) -> Tensor:
+    """Mean logarithmic q-error.
+
+    Minimizing the mean of ``log(q)`` is equivalent to minimizing the
+    geometric mean of the q-errors; the paper reports this variant puts less
+    emphasis on heavy outliers (Section 4.8).
+    """
+    predicted = predicted_cardinalities.clip(_MIN_CARDINALITY, None)
+    true = true_cardinalities.clip(_MIN_CARDINALITY, None)
+    q_errors = maximum(predicted / true, true / predicted)
+    return q_errors.log().mean()
+
+
+def mse_loss(predictions: Tensor, targets: Tensor) -> Tensor:
+    """Mean squared error; used on *normalized* labels in Section 4.8."""
+    difference = predictions - targets
+    return (difference * difference).mean()

@@ -1,0 +1,6 @@
+"""Shared utilities: deterministic RNG management and simple timing."""
+
+from repro.utils.rng import spawn_rng
+from repro.utils.timer import Timer
+
+__all__ = ["spawn_rng", "Timer"]

@@ -1,0 +1,26 @@
+"""Query workloads.
+
+Three workload families from the paper's evaluation (Section 4):
+
+* the *training / synthetic* workload produced by the random query generator
+  of Section 3.3 (:mod:`repro.workload.generator`),
+* the *scale* workload with zero to four joins used to study generalization
+  to more joins than seen during training (:mod:`repro.workload.scale`),
+* a *JOB-light*-style workload of 70 queries with one to four joins, equality
+  predicates on fact-table attributes and a range predicate only on
+  ``production_year`` (:mod:`repro.workload.job_light`).
+"""
+
+from repro.workload.generator import LabelledQuery, QueryGenerator, WorkloadConfig
+from repro.workload.job_light import JobLightConfig, generate_job_light
+from repro.workload.scale import ScaleWorkloadConfig, generate_scale_workload
+
+__all__ = [
+    "LabelledQuery",
+    "QueryGenerator",
+    "WorkloadConfig",
+    "ScaleWorkloadConfig",
+    "generate_scale_workload",
+    "JobLightConfig",
+    "generate_job_light",
+]

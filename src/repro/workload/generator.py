@@ -1,0 +1,186 @@
+"""The paper's random query generator (Section 3.3).
+
+The generator produces uniformly distributed queries over a constrained
+search space:
+
+1. draw the number of joins ``|J_q|`` uniformly from ``0..max_joins``,
+2. pick a starting table (uniformly among tables participating in the join
+   graph),
+3. ``|J_q|`` times, uniformly pick a new table joinable with the current
+   table set and add the corresponding join edge,
+4. for every base table in the query, draw the number of predicates uniformly
+   from ``0..#non-key columns``, then for each predicate draw the operator
+   uniformly from ``{=, <, >}`` and a literal from the column's actual values,
+5. keep only unique queries, execute them to obtain the true cardinality, and
+   skip queries with empty results.
+
+The same generator (with a different seed) produces the paper's *synthetic*
+evaluation workload of 5,000 queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.db.executor import CardinalityExecutor
+from repro.db.predicates import Operator
+from repro.db.query import JoinCondition, Predicate, Query
+from repro.db.table import Database
+from repro.utils.rng import spawn_rng
+
+__all__ = ["WorkloadConfig", "LabelledQuery", "QueryGenerator"]
+
+_OPERATORS = (Operator.EQ, Operator.LT, Operator.GT)
+
+
+@dataclass(frozen=True)
+class LabelledQuery:
+    """A query annotated with its true result cardinality."""
+
+    query: Query
+    cardinality: int
+
+    def __iter__(self) -> Iterator:
+        # Allows ``query, cardinality = labelled`` unpacking and keeps the
+        # (query, cardinality) tuple convention used by the file format.
+        return iter((self.query, self.cardinality))
+
+    @property
+    def num_joins(self) -> int:
+        return self.query.num_joins
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Configuration of the random query generator."""
+
+    num_queries: int = 1000
+    min_joins: int = 0
+    max_joins: int = 2
+    max_predicates_per_table: int | None = None
+    skip_empty_results: bool = True
+    seed: int = 0
+    max_attempts_factor: int = 50
+    predicate_tables: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.num_queries <= 0:
+            raise ValueError("num_queries must be positive")
+        if not 0 <= self.min_joins <= self.max_joins:
+            raise ValueError("join bounds must satisfy 0 <= min_joins <= max_joins")
+
+
+class QueryGenerator:
+    """Generates labelled random queries against a database snapshot."""
+
+    def __init__(self, database: Database, config: WorkloadConfig | None = None):
+        self.database = database
+        self.config = config if config is not None else WorkloadConfig()
+        self.schema = database.schema
+        self._executor = CardinalityExecutor(database)
+        self._rng = spawn_rng(self.config.seed, "query-generator")
+        self._join_graph_tables = self.schema.tables_in_join_graph() or self.schema.table_names
+
+    # ------------------------------------------------------------------
+    def generate(self, num_queries: int | None = None) -> list[LabelledQuery]:
+        """Generate ``num_queries`` unique, non-empty labelled queries.
+
+        Raises ``RuntimeError`` if the generator cannot find enough unique
+        non-empty queries within a bounded number of attempts (which would
+        indicate a database far too small for the requested workload size).
+        """
+        target = num_queries if num_queries is not None else self.config.num_queries
+        labelled: list[LabelledQuery] = []
+        seen: set[tuple] = set()
+        attempts = 0
+        max_attempts = max(target * self.config.max_attempts_factor, 1000)
+        while len(labelled) < target and attempts < max_attempts:
+            attempts += 1
+            query = self._draw_query()
+            signature = query.signature()
+            if signature in seen:
+                continue
+            seen.add(signature)
+            cardinality = self._executor.execute(query)
+            if self.config.skip_empty_results and cardinality == 0:
+                continue
+            labelled.append(LabelledQuery(query=query, cardinality=cardinality))
+        if len(labelled) < target:
+            raise RuntimeError(
+                f"could only generate {len(labelled)} of {target} unique non-empty queries "
+                f"after {attempts} attempts; use a larger database or fewer queries"
+            )
+        return labelled
+
+    # ------------------------------------------------------------------
+    def _draw_query(self) -> Query:
+        num_joins = int(self._rng.integers(self.config.min_joins, self.config.max_joins + 1))
+        tables, joins = self._draw_join_tree(num_joins)
+        predicates = self._draw_predicates(tables)
+        return Query(tables=tuple(tables), joins=tuple(joins), predicates=tuple(predicates))
+
+    def _draw_join_tree(self, num_joins: int) -> tuple[list[str], list[JoinCondition]]:
+        start = str(self._rng.choice(self._join_graph_tables))
+        tables = [start]
+        joins: list[JoinCondition] = []
+        for _ in range(num_joins):
+            candidates = self._joinable_candidates(tables)
+            if not candidates:
+                break
+            new_table, anchor = candidates[int(self._rng.integers(len(candidates)))]
+            edge = self.schema.join_edge_between(anchor, new_table)
+            joins.append(JoinCondition.from_foreign_key(edge))
+            tables.append(new_table)
+        return tables, joins
+
+    def _joinable_candidates(self, tables: list[str]) -> list[tuple[str, str]]:
+        """(new_table, anchor_table) pairs reachable from the current table set."""
+        present = set(tables)
+        candidates = []
+        for anchor in tables:
+            for neighbour in self.schema.joinable_tables(anchor):
+                if neighbour not in present:
+                    candidates.append((neighbour, anchor))
+        return candidates
+
+    def _draw_predicates(self, tables: list[str]) -> list[Predicate]:
+        predicates: list[Predicate] = []
+        allowed = set(self.config.predicate_tables) if self.config.predicate_tables else None
+        for table_name in tables:
+            if allowed is not None and table_name not in allowed:
+                continue
+            non_key_columns = self.schema.table(table_name).non_key_columns
+            if not non_key_columns:
+                continue
+            upper = len(non_key_columns)
+            if self.config.max_predicates_per_table is not None:
+                upper = min(upper, self.config.max_predicates_per_table)
+            num_predicates = int(self._rng.integers(0, upper + 1))
+            if num_predicates == 0:
+                continue
+            columns = self._rng.choice(
+                non_key_columns, size=num_predicates, replace=False
+            )
+            for column in columns:
+                predicates.append(self._draw_predicate(table_name, str(column)))
+        return predicates
+
+    def _draw_predicate(self, table_name: str, column: str) -> Predicate:
+        operator = _OPERATORS[int(self._rng.integers(len(_OPERATORS)))]
+        values = self.database.table(table_name).column(column)
+        literal = int(values[int(self._rng.integers(len(values)))])
+        return Predicate(table=table_name, column=column, operator=operator, value=literal)
+
+
+def split_by_joins(workload: list[LabelledQuery]) -> dict[int, list[LabelledQuery]]:
+    """Group a workload by join count (used for Table 1 and the box plots)."""
+    grouped: dict[int, list[LabelledQuery]] = {}
+    for labelled in workload:
+        grouped.setdefault(labelled.num_joins, []).append(labelled)
+    return dict(sorted(grouped.items()))
+
+
+__all__.append("split_by_joins")

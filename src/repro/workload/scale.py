@@ -1,0 +1,58 @@
+"""The *scale* workload (paper Section 4.4).
+
+500 queries, 100 per join count from zero to four, produced by the same
+random generator as the training data but allowed to grow beyond the two-join
+training limit.  It measures how MSCN generalizes to queries with more joins
+than it was trained on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.table import Database
+from repro.workload.generator import LabelledQuery, QueryGenerator, WorkloadConfig
+
+__all__ = ["ScaleWorkloadConfig", "generate_scale_workload"]
+
+
+@dataclass(frozen=True)
+class ScaleWorkloadConfig:
+    """Configuration of the scale workload."""
+
+    queries_per_join_count: int = 100
+    max_joins: int = 4
+    seed: int = 103
+
+    def __post_init__(self) -> None:
+        if self.queries_per_join_count <= 0:
+            raise ValueError("queries_per_join_count must be positive")
+        if self.max_joins < 0:
+            raise ValueError("max_joins must be non-negative")
+
+
+def generate_scale_workload(
+    database: Database, config: ScaleWorkloadConfig | None = None
+) -> list[LabelledQuery]:
+    """Generate the scale workload: equal-sized strata of 0..max_joins queries.
+
+    The join-graph of the IMDb-style star schema caps the number of joins at
+    the number of fact tables; requesting more raises ``ValueError``.
+    """
+    config = config if config is not None else ScaleWorkloadConfig()
+    max_possible_joins = len(database.schema.join_edges())
+    if config.max_joins > max_possible_joins:
+        raise ValueError(
+            f"max_joins={config.max_joins} exceeds the schema's {max_possible_joins} join edges"
+        )
+    workload: list[LabelledQuery] = []
+    for num_joins in range(config.max_joins + 1):
+        stratum_config = WorkloadConfig(
+            num_queries=config.queries_per_join_count,
+            min_joins=num_joins,
+            max_joins=num_joins,
+            seed=config.seed + num_joins,
+        )
+        generator = QueryGenerator(database, stratum_config)
+        workload.extend(generator.generate())
+    return workload

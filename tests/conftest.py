@@ -1,0 +1,82 @@
+"""Shared fixtures: a tiny synthetic database and derived artefacts.
+
+The tiny database is large enough to exercise joins, sampling and statistics
+but small enough that the whole test suite stays fast.  Session scope is safe
+because all consumers treat the database as immutable (the library itself
+assumes an immutable snapshot, per Section 3.5 of the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.imdb import SyntheticIMDbConfig, generate_imdb
+from repro.db.sampling import MaterializedSamples
+from repro.db.schema import ColumnSchema, ForeignKey, Schema, TableSchema
+from repro.db.table import Database, Table
+from repro.workload.generator import QueryGenerator, WorkloadConfig
+
+
+@pytest.fixture(scope="session")
+def tiny_database():
+    """A small correlated IMDb-like database (about 2k titles)."""
+    return generate_imdb(SyntheticIMDbConfig(num_titles=2000, num_companies=300,
+                                             num_persons=3000, num_keywords=800, seed=7))
+
+
+@pytest.fixture(scope="session")
+def tiny_samples(tiny_database):
+    return MaterializedSamples(tiny_database, sample_size=50, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_workload(tiny_database):
+    """A labelled 0-2-join workload over the tiny database."""
+    generator = QueryGenerator(
+        tiny_database, WorkloadConfig(num_queries=120, max_joins=2, seed=11)
+    )
+    return generator.generate()
+
+
+@pytest.fixture(scope="session")
+def two_table_database():
+    """A hand-built two-table database with known contents for exact checks.
+
+    ``fact.dim_id`` references ``dim.id``; every dim row i has exactly i
+    matching fact rows (fan-outs 1, 2, 3, 4), which makes expected join
+    cardinalities easy to compute by hand in tests.
+    """
+    dim_schema = TableSchema(
+        name="dim",
+        columns=(
+            ColumnSchema("id", "primary_key"),
+            ColumnSchema("category"),
+        ),
+    )
+    fact_schema = TableSchema(
+        name="fact",
+        columns=(
+            ColumnSchema("id", "primary_key"),
+            ColumnSchema("dim_id", "foreign_key"),
+            ColumnSchema("value"),
+        ),
+    )
+    schema = Schema(
+        tables=(dim_schema, fact_schema),
+        foreign_keys=(ForeignKey("fact", "dim_id", "dim", "id"),),
+    )
+    dim = Table(
+        dim_schema,
+        {"id": np.array([1, 2, 3, 4]), "category": np.array([10, 10, 20, 20])},
+    )
+    fact_dim_ids = np.array([1, 2, 2, 3, 3, 3, 4, 4, 4, 4])
+    fact = Table(
+        fact_schema,
+        {
+            "id": np.arange(1, 11),
+            "dim_id": fact_dim_ids,
+            "value": np.array([5, 5, 6, 5, 6, 7, 5, 6, 7, 8]),
+        },
+    )
+    return Database(schema, {"dim": dim, "fact": fact})

@@ -1,0 +1,93 @@
+"""Tests of mini-batch padding and masking."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.batching import Batch, collate, iterate_minibatches
+from repro.core.featurization import FeaturizedQuery
+
+
+def make_featurized(num_tables, num_joins, num_predicates, table_width=3, join_width=2,
+                    predicate_width=4, fill=1.0):
+    return FeaturizedQuery(
+        table_features=np.full((num_tables, table_width), fill),
+        join_features=np.full((num_joins, join_width), fill),
+        predicate_features=np.full((num_predicates, predicate_width), fill),
+    )
+
+
+class TestCollate:
+    def test_pads_to_largest_set_in_batch(self):
+        batch = collate([make_featurized(1, 0, 2), make_featurized(3, 2, 0)])
+        assert batch.table_features.shape == (2, 3, 3)
+        assert batch.join_features.shape == (2, 2, 2)
+        assert batch.predicate_features.shape == (2, 2, 4)
+
+    def test_masks_mark_real_elements(self):
+        batch = collate([make_featurized(1, 0, 2), make_featurized(3, 2, 0)])
+        np.testing.assert_array_equal(batch.table_mask, [[1, 0, 0], [1, 1, 1]])
+        np.testing.assert_array_equal(batch.join_mask, [[0, 0], [1, 1]])
+        np.testing.assert_array_equal(batch.predicate_mask, [[1, 1], [0, 0]])
+
+    def test_padding_rows_are_zero(self):
+        batch = collate([make_featurized(1, 0, 0, fill=7.0), make_featurized(2, 0, 0, fill=7.0)])
+        np.testing.assert_array_equal(batch.table_features[0, 1], np.zeros(3))
+
+    def test_empty_sets_keep_minimum_size_one(self):
+        batch = collate([make_featurized(1, 0, 0)])
+        assert batch.join_features.shape[1] == 1
+        assert batch.join_mask.sum() == 0
+
+    def test_labels_and_cardinalities_are_column_vectors(self):
+        batch = collate(
+            [make_featurized(1, 0, 0), make_featurized(1, 0, 0)],
+            labels=np.array([0.1, 0.2]),
+            cardinalities=np.array([10.0, 20.0]),
+        )
+        assert batch.labels.shape == (2, 1)
+        assert batch.cardinalities.shape == (2, 1)
+        assert batch.size == 2
+
+    def test_rejects_empty_batch(self):
+        with pytest.raises(ValueError):
+            collate([])
+
+    def test_rejects_mismatched_label_length(self):
+        with pytest.raises(ValueError):
+            collate([make_featurized(1, 0, 0)], labels=np.array([0.1, 0.2]))
+
+    def test_rejects_mismatched_cardinality_length(self):
+        with pytest.raises(ValueError):
+            collate([make_featurized(1, 0, 0)], cardinalities=np.array([1.0, 2.0]))
+
+
+class TestMinibatchIteration:
+    def test_covers_all_samples_exactly_once(self):
+        featurized = [make_featurized(1, 0, 0) for _ in range(10)]
+        labels = np.arange(10, dtype=np.float64)
+        cardinalities = np.arange(10, dtype=np.float64) + 1
+        seen = []
+        for batch in iterate_minibatches(featurized, labels, cardinalities, batch_size=3):
+            assert isinstance(batch, Batch)
+            seen.extend(batch.labels.reshape(-1).tolist())
+        assert sorted(seen) == labels.tolist()
+
+    def test_shuffles_with_rng(self):
+        featurized = [make_featurized(1, 0, 0) for _ in range(20)]
+        labels = np.arange(20, dtype=np.float64)
+        cards = labels + 1
+        ordered = [b.labels.reshape(-1).tolist() for b in
+                   iterate_minibatches(featurized, labels, cards, batch_size=20)]
+        shuffled = [b.labels.reshape(-1).tolist() for b in
+                    iterate_minibatches(featurized, labels, cards, batch_size=20,
+                                        rng=np.random.default_rng(1))]
+        assert ordered[0] == labels.tolist()
+        assert shuffled[0] != labels.tolist()
+        assert sorted(shuffled[0]) == labels.tolist()
+
+    def test_rejects_non_positive_batch_size(self):
+        with pytest.raises(ValueError):
+            list(iterate_minibatches([make_featurized(1, 0, 0)], np.array([1.0]),
+                                     np.array([1.0]), batch_size=0))

@@ -1,0 +1,46 @@
+"""Tests of the MSCN configuration object."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import FeaturizationVariant, LossKind, MSCNConfig
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("hidden_units", 0),
+            ("epochs", 0),
+            ("batch_size", 0),
+            ("learning_rate", 0.0),
+            ("validation_fraction", 1.0),
+            ("num_samples", 0),
+        ],
+    )
+    def test_rejects_invalid_values(self, field, value):
+        with pytest.raises(ValueError):
+            MSCNConfig(**{field: value})
+
+    def test_defaults_match_paper_best_configuration(self):
+        config = MSCNConfig()
+        assert config.hidden_units == 256
+        assert config.epochs == 100
+        assert config.batch_size == 1024
+        assert config.learning_rate == pytest.approx(1e-3)
+        assert config.num_samples == 1000
+        assert config.loss is LossKind.Q_ERROR
+        assert config.variant is FeaturizationVariant.BITMAPS
+
+    def test_accepts_string_enums(self):
+        config = MSCNConfig(loss="mse", variant="no_samples")
+        assert config.loss is LossKind.MSE
+        assert config.variant is FeaturizationVariant.NO_SAMPLES
+
+    def test_replace_returns_modified_copy(self):
+        base = MSCNConfig()
+        changed = base.replace(hidden_units=64)
+        assert changed.hidden_units == 64
+        assert base.hidden_units == 256
+        assert changed.epochs == base.epochs

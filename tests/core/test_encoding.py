@@ -1,0 +1,59 @@
+"""Tests of the one-hot schema encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import SchemaEncoding
+from repro.datasets.imdb import imdb_schema
+from repro.db.predicates import Operator
+from repro.db.query import JoinCondition
+
+
+@pytest.fixture(scope="module")
+def encoding():
+    return SchemaEncoding.from_schema(imdb_schema())
+
+
+class TestDimensions:
+    def test_counts_match_schema(self, encoding):
+        schema = imdb_schema()
+        assert encoding.num_tables == len(schema.table_names) == 6
+        assert encoding.num_joins == len(schema.join_edges()) == 5
+        assert encoding.num_columns == len(schema.non_key_columns())
+        assert encoding.num_operators == 3
+
+
+class TestOneHots:
+    def test_table_one_hot_is_unique(self, encoding):
+        vectors = [encoding.table_one_hot(name) for name in imdb_schema().table_names]
+        stacked = np.vstack(vectors)
+        assert (stacked.sum(axis=1) == 1).all()
+        assert np.linalg.matrix_rank(stacked) == len(vectors)
+
+    def test_unknown_table_raises(self, encoding):
+        with pytest.raises(KeyError):
+            encoding.table_one_hot("unknown")
+
+    def test_join_one_hot_direction_independent(self, encoding):
+        forward = JoinCondition("movie_companies", "movie_id", "title", "id")
+        backward = JoinCondition("title", "id", "movie_companies", "movie_id")
+        np.testing.assert_array_equal(
+            encoding.join_one_hot(forward), encoding.join_one_hot(backward)
+        )
+
+    def test_unknown_join_raises(self, encoding):
+        with pytest.raises(KeyError):
+            encoding.join_one_hot(JoinCondition("a", "x", "b", "y"))
+
+    def test_column_one_hot_excludes_keys(self, encoding):
+        with pytest.raises(KeyError):
+            encoding.column_one_hot("title", "id")
+        vector = encoding.column_one_hot("title", "production_year")
+        assert vector.sum() == 1
+
+    def test_operator_one_hot(self, encoding):
+        vectors = np.vstack([encoding.operator_one_hot(op) for op in Operator])
+        assert (vectors.sum(axis=1) == 1).all()
+        assert np.linalg.matrix_rank(vectors) == 3

@@ -1,0 +1,95 @@
+"""Tests of the deep-ensemble uncertainty extension (paper Section 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import MSCNConfig
+from repro.core.ensemble import EnsembleEstimate, EnsembleMSCNEstimator
+from repro.evaluation.metrics import q_errors
+from repro.workload.scale import ScaleWorkloadConfig, generate_scale_workload
+
+
+@pytest.fixture(scope="module")
+def trained_ensemble(tiny_database, tiny_samples, tiny_workload):
+    config = MSCNConfig(hidden_units=24, epochs=15, batch_size=32, num_samples=50, seed=31)
+    ensemble = EnsembleMSCNEstimator(
+        tiny_database, config, samples=tiny_samples, num_members=3
+    )
+    ensemble.fit(tiny_workload)
+    return ensemble
+
+
+class TestEnsembleEstimate:
+    def test_spread_of_identical_members_is_one(self):
+        estimate = EnsembleEstimate(cardinality=10.0, member_estimates=(10.0, 10.0, 10.0))
+        assert estimate.spread == pytest.approx(1.0)
+        assert estimate.is_confident()
+
+    def test_spread_is_max_pairwise_factor(self):
+        estimate = EnsembleEstimate(cardinality=10.0, member_estimates=(5.0, 50.0, 10.0))
+        assert estimate.spread == pytest.approx(10.0)
+        assert not estimate.is_confident(max_spread=2.0)
+
+
+class TestEnsembleEstimator:
+    def test_requires_at_least_two_members(self, tiny_database, tiny_samples):
+        with pytest.raises(ValueError):
+            EnsembleMSCNEstimator(tiny_database, MSCNConfig(num_samples=50),
+                                  samples=tiny_samples, num_members=1)
+
+    def test_members_are_differently_initialized(self, trained_ensemble):
+        seeds = {member.config.seed for member in trained_ensemble.members}
+        assert len(seeds) == len(trained_ensemble.members)
+
+    def test_estimates_are_positive_and_match_member_range(self, trained_ensemble, tiny_workload):
+        queries = [q.query for q in tiny_workload[:15]]
+        estimates = trained_ensemble.estimate_many_with_uncertainty(queries)
+        for estimate in estimates:
+            assert estimate.cardinality >= 1.0
+            assert min(estimate.member_estimates) <= estimate.cardinality + 1e-6
+            assert estimate.cardinality <= max(estimate.member_estimates) + 1e-6
+
+    def test_scalar_and_batched_estimates_agree(self, trained_ensemble, tiny_workload):
+        query = tiny_workload[0].query
+        single = trained_ensemble.estimate(query)
+        batched = trained_ensemble.estimate_many([query])[0]
+        assert single == pytest.approx(batched, rel=1e-9)
+
+    def test_ensemble_is_no_worse_than_its_worst_member(self, trained_ensemble, tiny_workload):
+        queries = [q.query for q in tiny_workload[:60]]
+        truths = np.array([q.cardinality for q in tiny_workload[:60]], dtype=float)
+        ensemble_mean = float(np.mean(q_errors(trained_ensemble.estimate_many(queries), truths)))
+        member_means = [
+            float(np.mean(q_errors(member.estimate_many(queries), truths)))
+            for member in trained_ensemble.members
+        ]
+        assert ensemble_mean <= max(member_means) + 1e-9
+
+    def test_spread_is_a_well_formed_uncertainty_signal(
+        self, trained_ensemble, tiny_database, tiny_workload
+    ):
+        """Spreads are finite factors >= 1 on both in-distribution queries and
+        3-4-join queries the members never saw, and the members genuinely
+        disagree on at least some queries (otherwise the signal carries no
+        information).  Whether out-of-distribution spreads are *larger* is a
+        quantitative question that needs the benchmark-scale training budget,
+        not this miniature fixture."""
+        in_distribution = [q.query for q in tiny_workload[:40]]
+        scale = generate_scale_workload(
+            tiny_database, ScaleWorkloadConfig(queries_per_join_count=10, max_joins=4, seed=17)
+        )
+        out_of_distribution = [q.query for q in scale if q.num_joins >= 3]
+        spreads = [
+            e.spread
+            for e in trained_ensemble.estimate_many_with_uncertainty(
+                in_distribution + out_of_distribution
+            )
+        ]
+        assert all(np.isfinite(spread) and spread >= 1.0 for spread in spreads)
+        assert max(spreads) > 1.05
+
+    def test_empty_query_list(self, trained_ensemble):
+        assert trained_ensemble.estimate_many_with_uncertainty([]) == []
+        assert trained_ensemble.estimate_many([]).size == 0

@@ -1,0 +1,121 @@
+"""Tests of the public MSCNEstimator façade (fit, estimate, persistence)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import FeaturizationVariant, MSCNConfig
+from repro.core.estimator import MSCNEstimator
+from repro.evaluation.metrics import q_errors
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    return MSCNConfig(
+        hidden_units=24,
+        epochs=25,
+        batch_size=32,
+        num_samples=50,
+        seed=13,
+        validation_fraction=0.1,
+    )
+
+
+@pytest.fixture(scope="module")
+def trained_estimator(tiny_database, tiny_samples, tiny_workload, small_config):
+    estimator = MSCNEstimator(tiny_database, small_config, samples=tiny_samples)
+    estimator.fit(tiny_workload)
+    return estimator
+
+
+class TestFitAndEstimate:
+    def test_requires_training_queries(self, tiny_database, small_config, tiny_samples):
+        estimator = MSCNEstimator(tiny_database, small_config, samples=tiny_samples)
+        with pytest.raises(ValueError):
+            estimator.fit([])
+
+    def test_estimate_before_fit_raises(self, tiny_database, small_config, tiny_samples):
+        estimator = MSCNEstimator(tiny_database, small_config, samples=tiny_samples)
+        with pytest.raises(RuntimeError):
+            estimator.estimate_many([])
+
+    def test_training_records_validation_history(self, trained_estimator, small_config):
+        result = trained_estimator.training_result
+        assert result is not None
+        assert result.epochs_run == small_config.epochs
+        assert len(result.validation_q_error_history) == small_config.epochs
+
+    def test_estimates_are_positive_and_finite(self, trained_estimator, tiny_workload):
+        queries = [labelled.query for labelled in tiny_workload[:20]]
+        estimates = trained_estimator.estimate_many(queries)
+        assert estimates.shape == (20,)
+        assert np.isfinite(estimates).all()
+        assert (estimates >= 1.0).all()
+
+    def test_single_estimate_matches_batch(self, trained_estimator, tiny_workload):
+        query = tiny_workload[0].query
+        single = trained_estimator.estimate(query)
+        batch = trained_estimator.estimate_many([query])[0]
+        assert single == pytest.approx(batch)
+
+    def test_training_queries_are_fit_reasonably(self, trained_estimator, tiny_workload):
+        """After training, the mean q-error on (seen) training data is far
+        better than a constant-guess baseline."""
+        queries = [labelled.query for labelled in tiny_workload]
+        truths = np.array([labelled.cardinality for labelled in tiny_workload], dtype=float)
+        estimates = trained_estimator.estimate_many(queries)
+        learned = float(np.mean(q_errors(estimates, truths)))
+        constant = float(np.mean(q_errors(np.full_like(truths, truths.mean()), truths)))
+        assert learned < constant
+
+    def test_normalized_predictions_in_unit_interval(self, trained_estimator, tiny_workload):
+        outputs = trained_estimator.predict_normalized([q.query for q in tiny_workload[:10]])
+        assert ((outputs >= 0.0) & (outputs <= 1.0)).all()
+
+    def test_timed_estimates_report_latency(self, trained_estimator, tiny_workload):
+        queries = [labelled.query for labelled in tiny_workload[:30]]
+        estimates, timing = trained_estimator.timed_estimate_many(queries)
+        assert len(estimates) == 30
+        assert timing.num_queries == 30
+        assert timing.total_seconds > 0
+        assert timing.milliseconds_per_query > 0
+
+
+class TestVariants:
+    def test_no_samples_variant_trains_without_samples(self, tiny_database, tiny_workload):
+        config = MSCNConfig(hidden_units=16, epochs=3, batch_size=32, num_samples=50,
+                            variant=FeaturizationVariant.NO_SAMPLES, seed=3)
+        estimator = MSCNEstimator(tiny_database, config)
+        estimator.fit(tiny_workload[:60])
+        estimates = estimator.estimate_many([q.query for q in tiny_workload[:5]])
+        assert (estimates >= 1.0).all()
+
+    def test_estimator_name_includes_variant(self, tiny_database, tiny_samples):
+        config = MSCNConfig(hidden_units=16, epochs=1, num_samples=50,
+                            variant=FeaturizationVariant.NUM_SAMPLES)
+        estimator = MSCNEstimator(tiny_database, config, samples=tiny_samples)
+        assert "num_samples" in estimator.name
+
+
+class TestIntrospectionAndPersistence:
+    def test_model_size_reporting(self, trained_estimator):
+        assert trained_estimator.model_num_parameters() > 0
+        assert trained_estimator.model_num_bytes() >= trained_estimator.model_num_parameters() * 8
+
+    def test_save_and_load_reproduce_estimates(self, trained_estimator, tiny_database,
+                                               tiny_workload, tmp_path):
+        directory = tmp_path / "model"
+        trained_estimator.save(directory)
+        restored = MSCNEstimator.load(directory, tiny_database)
+        queries = [labelled.query for labelled in tiny_workload[:10]]
+        np.testing.assert_allclose(
+            trained_estimator.estimate_many(queries),
+            restored.estimate_many(queries),
+            rtol=1e-9,
+        )
+
+    def test_save_before_fit_raises(self, tiny_database, small_config, tiny_samples, tmp_path):
+        estimator = MSCNEstimator(tiny_database, small_config, samples=tiny_samples)
+        with pytest.raises(RuntimeError):
+            estimator.save(tmp_path / "nope")

@@ -1,0 +1,134 @@
+"""Tests of the synthetic IMDb generator: integrity, skew and correlations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.imdb import SyntheticIMDbConfig, generate_imdb, imdb_schema
+
+
+class TestConfig:
+    def test_rejects_non_positive_titles(self):
+        with pytest.raises(ValueError):
+            SyntheticIMDbConfig(num_titles=0)
+
+    def test_rejects_non_positive_scale(self):
+        with pytest.raises(ValueError):
+            SyntheticIMDbConfig(scale=0)
+
+    def test_scale_multiplies_titles(self):
+        config = SyntheticIMDbConfig(num_titles=1000, scale=2.0)
+        assert config.effective_titles == 2000
+
+
+class TestSchemaIntegrity:
+    def test_database_matches_schema(self, tiny_database):
+        assert set(tiny_database.table_names) == set(imdb_schema().table_names)
+
+    def test_primary_keys_are_unique(self, tiny_database):
+        for name in tiny_database.table_names:
+            table = tiny_database.table(name)
+            primary_key = table.schema.primary_key
+            values = table.column(primary_key)
+            assert len(np.unique(values)) == len(values)
+
+    def test_foreign_keys_reference_existing_titles(self, tiny_database):
+        title_ids = set(tiny_database.table("title").column("id").tolist())
+        for foreign_key in tiny_database.schema.foreign_keys:
+            movie_ids = tiny_database.table(foreign_key.table).column(foreign_key.column)
+            assert set(np.unique(movie_ids).tolist()) <= title_ids
+
+    def test_value_ranges(self, tiny_database):
+        title = tiny_database.table("title")
+        years = title.column("production_year")
+        assert years.min() >= 1880 and years.max() <= 2019
+        kinds = title.column("kind_id")
+        assert kinds.min() >= 1 and kinds.max() <= 7
+        roles = tiny_database.table("cast_info").column("role_id")
+        assert roles.min() >= 1 and roles.max() <= 11
+
+    def test_fact_tables_have_expected_fanout_scale(self, tiny_database):
+        titles = tiny_database.table("title").num_rows
+        cast = tiny_database.table("cast_info").num_rows
+        # Mean cast fan-out is configured around 4; allow wide tolerance.
+        assert 1.5 * titles < cast < 10 * titles
+
+
+class TestDistributionsAndCorrelations:
+    def test_years_are_skewed_towards_recent(self, tiny_database):
+        years = tiny_database.table("title").column("production_year")
+        assert np.median(years) > 1960
+
+    def test_season_numbers_only_for_episode_kinds(self, tiny_database):
+        title = tiny_database.table("title")
+        seasons = title.column("season_nr")
+        kinds = title.column("kind_id")
+        assert (seasons[~np.isin(kinds, (2, 3))] == 0).all()
+        assert (seasons[np.isin(kinds, (2, 3))] > 0).all()
+
+    def test_company_popularity_is_skewed(self, tiny_database):
+        companies = tiny_database.table("movie_companies").column("company_id")
+        _, counts = np.unique(companies, return_counts=True)
+        top_share = np.sort(counts)[::-1][:10].sum() / counts.sum()
+        assert top_share > 0.15  # the head is disproportionately popular
+
+    def test_company_era_correlation_crosses_the_join(self, tiny_database):
+        """Movies of the same company cluster in time far more than random
+        movies do — the join-crossing correlation MSCN is meant to learn."""
+        movie_companies = tiny_database.table("movie_companies")
+        title = tiny_database.table("title")
+        years_by_title = dict(zip(title.column("id").tolist(), title.column("production_year")))
+        company_ids = movie_companies.column("company_id")
+        movie_ids = movie_companies.column("movie_id")
+        years = np.array([years_by_title[movie] for movie in movie_ids.tolist()], dtype=np.float64)
+        spreads = []
+        for company in np.unique(company_ids)[:200]:
+            member_years = years[company_ids == company]
+            if len(member_years) >= 5:
+                spreads.append(member_years.std())
+        assert spreads, "expected companies with at least five movies"
+        average_within_company_spread = float(np.mean(spreads))
+        global_spread = float(years.std())
+        assert average_within_company_spread < 0.75 * global_spread
+
+    def test_person_role_correlation(self, tiny_database):
+        """A performer's role is sticky: per-person role entropy is low."""
+        cast = tiny_database.table("cast_info")
+        person = cast.column("person_id")
+        role = cast.column("role_id")
+        consistent = 0
+        checked = 0
+        for person_id in np.unique(person)[:300]:
+            roles = role[person == person_id]
+            if len(roles) >= 3:
+                checked += 1
+                dominant_share = np.max(np.bincount(roles)) / len(roles)
+                consistent += dominant_share > 0.6
+        assert checked > 0
+        assert consistent / checked > 0.6
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_database(self):
+        config = SyntheticIMDbConfig(num_titles=300, num_companies=50, num_persons=200,
+                                     num_keywords=100, seed=3)
+        first = generate_imdb(config)
+        second = generate_imdb(config)
+        for name in first.table_names:
+            for column in first.table(name).schema.column_names:
+                np.testing.assert_array_equal(
+                    first.table(name).column(column), second.table(name).column(column)
+                )
+
+    def test_different_seed_changes_data(self):
+        base = SyntheticIMDbConfig(num_titles=300, num_companies=50, num_persons=200,
+                                   num_keywords=100, seed=3)
+        other = SyntheticIMDbConfig(num_titles=300, num_companies=50, num_persons=200,
+                                    num_keywords=100, seed=4)
+        first = generate_imdb(base)
+        second = generate_imdb(other)
+        assert not np.array_equal(
+            first.table("title").column("production_year"),
+            second.table("title").column("production_year"),
+        )

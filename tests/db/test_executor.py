@@ -1,0 +1,210 @@
+"""Tests of the COUNT(*) executor, including equivalence with a brute-force
+nested-loop reference on randomly generated tiny databases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.executor import CardinalityExecutor, execute_cardinality, nested_loop_cardinality
+from repro.db.predicates import Operator
+from repro.db.query import JoinCondition, Predicate, Query
+from repro.db.schema import ColumnSchema, ForeignKey, Schema, TableSchema
+from repro.db.table import Database, Table
+
+
+class TestSingleTable:
+    def test_no_predicates_counts_all_rows(self, two_table_database):
+        query = Query(tables=("fact",))
+        assert execute_cardinality(two_table_database, query) == 10
+
+    def test_predicate_filters(self, two_table_database):
+        query = Query(tables=("fact",), predicates=(Predicate("fact", "value", "=", 5),))
+        assert execute_cardinality(two_table_database, query) == 4
+
+    def test_empty_result(self, two_table_database):
+        query = Query(tables=("fact",), predicates=(Predicate("fact", "value", ">", 100),))
+        assert execute_cardinality(two_table_database, query) == 0
+
+
+class TestJoins:
+    def test_unfiltered_pk_fk_join_counts_fact_rows(self, two_table_database):
+        query = Query(
+            tables=("dim", "fact"),
+            joins=(JoinCondition("fact", "dim_id", "dim", "id"),),
+        )
+        assert execute_cardinality(two_table_database, query) == 10
+
+    def test_filter_on_dimension_restricts_fanout(self, two_table_database):
+        # category 20 selects dim rows 3 and 4, with fan-outs 3 and 4.
+        query = Query(
+            tables=("dim", "fact"),
+            joins=(JoinCondition("fact", "dim_id", "dim", "id"),),
+            predicates=(Predicate("dim", "category", "=", 20),),
+        )
+        assert execute_cardinality(two_table_database, query) == 7
+
+    def test_filters_on_both_sides(self, two_table_database):
+        query = Query(
+            tables=("dim", "fact"),
+            joins=(JoinCondition("fact", "dim_id", "dim", "id"),),
+            predicates=(
+                Predicate("dim", "category", "=", 20),
+                Predicate("fact", "value", "=", 5),
+            ),
+        )
+        assert execute_cardinality(two_table_database, query) == 2
+
+    def test_cross_product_of_disconnected_tables(self, two_table_database):
+        query = Query(tables=("dim", "fact"))
+        assert execute_cardinality(two_table_database, query) == 40
+
+    def test_empty_base_table_short_circuits(self, two_table_database):
+        query = Query(
+            tables=("dim", "fact"),
+            joins=(JoinCondition("fact", "dim_id", "dim", "id"),),
+            predicates=(Predicate("dim", "category", "=", 999),),
+        )
+        assert execute_cardinality(two_table_database, query) == 0
+
+    def test_matches_nested_loop_on_two_table_database(self, two_table_database):
+        query = Query(
+            tables=("dim", "fact"),
+            joins=(JoinCondition("fact", "dim_id", "dim", "id"),),
+            predicates=(Predicate("fact", "value", ">", 5),),
+        )
+        assert execute_cardinality(two_table_database, query) == nested_loop_cardinality(
+            two_table_database, query
+        )
+
+
+def _random_star_database(rng: np.random.Generator, num_dim: int, num_fact: int) -> Database:
+    """A tiny random star database: one dimension and two fact tables."""
+    dim = TableSchema(
+        "dim", (ColumnSchema("id", "primary_key"), ColumnSchema("a"), ColumnSchema("b"))
+    )
+    fact1 = TableSchema(
+        "fact1",
+        (ColumnSchema("id", "primary_key"), ColumnSchema("dim_id", "foreign_key"), ColumnSchema("x")),
+    )
+    fact2 = TableSchema(
+        "fact2",
+        (ColumnSchema("id", "primary_key"), ColumnSchema("dim_id", "foreign_key"), ColumnSchema("y")),
+    )
+    schema = Schema(
+        tables=(dim, fact1, fact2),
+        foreign_keys=(
+            ForeignKey("fact1", "dim_id", "dim", "id"),
+            ForeignKey("fact2", "dim_id", "dim", "id"),
+        ),
+    )
+    tables = {
+        "dim": Table(
+            dim,
+            {
+                "id": np.arange(1, num_dim + 1),
+                "a": rng.integers(0, 4, num_dim),
+                "b": rng.integers(0, 3, num_dim),
+            },
+        ),
+        "fact1": Table(
+            fact1,
+            {
+                "id": np.arange(1, num_fact + 1),
+                "dim_id": rng.integers(1, num_dim + 1, num_fact),
+                "x": rng.integers(0, 5, num_fact),
+            },
+        ),
+        "fact2": Table(
+            fact2,
+            {
+                "id": np.arange(1, num_fact + 1),
+                "dim_id": rng.integers(1, num_dim + 1, num_fact),
+                "y": rng.integers(0, 5, num_fact),
+            },
+        ),
+    }
+    return Database(schema, tables)
+
+
+@st.composite
+def random_query_case(draw):
+    seed = draw(st.integers(0, 10_000))
+    num_joins = draw(st.integers(0, 2))
+    num_predicates = draw(st.integers(0, 3))
+    return seed, num_joins, num_predicates
+
+
+class TestAgainstNestedLoopReference:
+    @given(random_query_case())
+    @settings(max_examples=60, deadline=None)
+    def test_tree_counting_matches_nested_loop(self, case):
+        seed, num_joins, num_predicates = case
+        rng = np.random.default_rng(seed)
+        database = _random_star_database(rng, num_dim=6, num_fact=10)
+        tables = ["dim"]
+        joins = []
+        if num_joins >= 1:
+            tables.append("fact1")
+            joins.append(JoinCondition("fact1", "dim_id", "dim", "id"))
+        if num_joins >= 2:
+            tables.append("fact2")
+            joins.append(JoinCondition("fact2", "dim_id", "dim", "id"))
+        predicate_pool = [
+            ("dim", "a", 4),
+            ("dim", "b", 3),
+            ("fact1", "x", 5),
+            ("fact2", "y", 5),
+        ]
+        predicates = []
+        for _ in range(num_predicates):
+            table, column, domain = predicate_pool[int(rng.integers(len(predicate_pool)))]
+            if table not in tables:
+                continue
+            operator = [Operator.EQ, Operator.LT, Operator.GT][int(rng.integers(3))]
+            predicates.append(Predicate(table, column, operator, int(rng.integers(domain))))
+        query = Query(tables=tuple(tables), joins=tuple(joins), predicates=tuple(predicates))
+        expected = nested_loop_cardinality(database, query)
+        assert execute_cardinality(database, query) == expected
+
+
+class TestCyclicFallback:
+    def test_parallel_edges_use_expansion_path(self):
+        """Two join conditions between the same pair of tables (a cycle in the
+        multigraph sense) must still be answered correctly."""
+        left = TableSchema(
+            "left", (ColumnSchema("id", "primary_key"), ColumnSchema("k1"), ColumnSchema("k2"))
+        )
+        right = TableSchema(
+            "right", (ColumnSchema("id", "primary_key"), ColumnSchema("k1"), ColumnSchema("k2"))
+        )
+        schema = Schema(tables=(left, right))
+        database = Database(
+            schema,
+            {
+                "left": Table(
+                    left, {"id": np.array([1, 2]), "k1": np.array([1, 2]), "k2": np.array([7, 8])}
+                ),
+                "right": Table(
+                    right,
+                    {"id": np.array([1, 2, 3]), "k1": np.array([1, 1, 2]), "k2": np.array([7, 9, 8])},
+                ),
+            },
+        )
+        query = Query(
+            tables=("left", "right"),
+            joins=(
+                JoinCondition("left", "k1", "right", "k1"),
+                JoinCondition("left", "k2", "right", "k2"),
+            ),
+        )
+        # Matching rows: left1-right1 (k1=1,k2=7), left2-right3 (k1=2,k2=8).
+        assert execute_cardinality(database, query) == 2
+        assert nested_loop_cardinality(database, query) == 2
+
+    def test_executor_validates_schema(self, two_table_database):
+        executor = CardinalityExecutor(two_table_database)
+        with pytest.raises(ValueError):
+            executor.execute(Query(tables=("missing",)))

@@ -1,0 +1,71 @@
+"""Tests of predicate evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db.predicates import Operator, evaluate_conjunction, evaluate_predicate, selection_mask
+from repro.db.query import Predicate
+
+
+class TestOperator:
+    def test_from_symbol(self):
+        assert Operator.from_symbol("=") is Operator.EQ
+        assert Operator.from_symbol("<") is Operator.LT
+        assert Operator.from_symbol(">") is Operator.GT
+
+    def test_unknown_symbol(self):
+        with pytest.raises(ValueError):
+            Operator.from_symbol("!=")
+
+    def test_str(self):
+        assert str(Operator.EQ) == "="
+
+
+class TestEvaluatePredicate:
+    def test_equality(self, two_table_database):
+        fact = two_table_database.table("fact")
+        mask = evaluate_predicate(fact, "value", Operator.EQ, 5)
+        assert mask.sum() == 4
+
+    def test_less_than(self, two_table_database):
+        fact = two_table_database.table("fact")
+        mask = evaluate_predicate(fact, "value", Operator.LT, 6)
+        assert mask.sum() == 4
+
+    def test_greater_than(self, two_table_database):
+        fact = two_table_database.table("fact")
+        mask = evaluate_predicate(fact, "value", Operator.GT, 6)
+        assert mask.sum() == 3
+
+    def test_row_subset(self, two_table_database):
+        fact = two_table_database.table("fact")
+        rows = np.array([0, 9])
+        mask = evaluate_predicate(fact, "value", Operator.EQ, 8, rows=rows)
+        np.testing.assert_array_equal(mask, [False, True])
+
+
+class TestConjunction:
+    def test_conjunction_of_two_predicates(self, two_table_database):
+        fact = two_table_database.table("fact")
+        mask = evaluate_conjunction(
+            fact, [("value", Operator.GT, 5), ("dim_id", Operator.EQ, 4)]
+        )
+        assert mask.sum() == 3
+
+    def test_empty_conjunction_selects_everything(self, two_table_database):
+        fact = two_table_database.table("fact")
+        assert evaluate_conjunction(fact, []).sum() == fact.num_rows
+
+    def test_short_circuits_on_empty_intermediate(self, two_table_database):
+        fact = two_table_database.table("fact")
+        mask = evaluate_conjunction(
+            fact, [("value", Operator.GT, 100), ("dim_id", Operator.EQ, 4)]
+        )
+        assert mask.sum() == 0
+
+    def test_selection_mask_accepts_predicate_objects(self, two_table_database):
+        fact = two_table_database.table("fact")
+        predicates = [Predicate("fact", "value", Operator.EQ, 7)]
+        assert selection_mask(fact, predicates).sum() == 2

@@ -1,0 +1,99 @@
+"""Tests of materialized samples and bitmap semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db.predicates import Operator
+from repro.db.query import Predicate, Query, JoinCondition
+from repro.db.sampling import MaterializedSamples
+
+
+class TestConstruction:
+    def test_sample_size_must_be_positive(self, two_table_database):
+        with pytest.raises(ValueError):
+            MaterializedSamples(two_table_database, sample_size=0)
+
+    def test_small_table_sample_covers_all_rows(self, two_table_database):
+        samples = MaterializedSamples(two_table_database, sample_size=100, seed=1)
+        sample = samples.sample("dim")
+        assert sample.num_sampled == 4
+        assert sample.sample_size == 100
+        assert sample.scale_factor == pytest.approx(1.0)
+
+    def test_large_table_sample_is_bounded(self, tiny_database):
+        samples = MaterializedSamples(tiny_database, sample_size=50, seed=1)
+        sample = samples.sample("title")
+        assert sample.num_sampled == 50
+        assert sample.scale_factor == pytest.approx(tiny_database.table("title").num_rows / 50)
+
+    def test_unknown_table(self, two_table_database):
+        samples = MaterializedSamples(two_table_database, sample_size=10, seed=1)
+        with pytest.raises(KeyError):
+            samples.sample("missing")
+
+    def test_deterministic_for_a_seed(self, tiny_database):
+        first = MaterializedSamples(tiny_database, sample_size=20, seed=5)
+        second = MaterializedSamples(tiny_database, sample_size=20, seed=5)
+        np.testing.assert_array_equal(
+            first.sample("cast_info").row_indices, second.sample("cast_info").row_indices
+        )
+
+
+class TestBitmaps:
+    def test_bitmap_length_is_sample_size(self, two_table_database):
+        samples = MaterializedSamples(two_table_database, sample_size=30, seed=1)
+        bitmap = samples.bitmap("fact", [])
+        assert bitmap.shape == (30,)
+        # All sampled positions qualify when there are no predicates; padding
+        # positions beyond the table size never qualify.
+        assert bitmap.sum() == 10
+
+    def test_bitmap_matches_direct_evaluation(self, two_table_database):
+        samples = MaterializedSamples(two_table_database, sample_size=100, seed=3)
+        predicates = [Predicate("fact", "value", Operator.GT, 6)]
+        bitmap = samples.bitmap("fact", predicates)
+        sample_rows = samples.sample("fact").row_indices
+        values = two_table_database.table("fact").column("value")[sample_rows]
+        np.testing.assert_array_equal(bitmap[: len(sample_rows)], values > 6)
+
+    def test_qualifying_count_and_rows_are_consistent(self, two_table_database):
+        samples = MaterializedSamples(two_table_database, sample_size=100, seed=3)
+        predicates = [Predicate("fact", "value", Operator.EQ, 5)]
+        count = samples.qualifying_count("fact", predicates)
+        rows = samples.qualifying_rows("fact", predicates)
+        assert count == len(rows) == 4
+        values = two_table_database.table("fact").column("value")[rows]
+        assert (values == 5).all()
+
+    def test_bitmap_ignores_predicates_on_other_tables(self, two_table_database):
+        samples = MaterializedSamples(two_table_database, sample_size=100, seed=3)
+        predicates = [Predicate("dim", "category", Operator.EQ, 10)]
+        assert samples.bitmap("fact", predicates).sum() == 10
+
+    def test_query_bitmaps_and_counts(self, two_table_database):
+        samples = MaterializedSamples(two_table_database, sample_size=100, seed=3)
+        query = Query(
+            tables=("dim", "fact"),
+            joins=(JoinCondition("fact", "dim_id", "dim", "id"),),
+            predicates=(Predicate("fact", "value", Operator.EQ, 5),),
+        )
+        bitmaps = samples.query_bitmaps(query)
+        counts = samples.query_counts(query)
+        assert set(bitmaps) == {"dim", "fact"}
+        assert counts["dim"] == 4
+        assert counts["fact"] == 4
+
+
+class TestEstimation:
+    def test_estimate_base_cardinality_scales_counts(self, tiny_database):
+        samples = MaterializedSamples(tiny_database, sample_size=50, seed=9)
+        title_rows = tiny_database.table("title").num_rows
+        estimate = samples.estimate_base_cardinality("title", [])
+        assert estimate == pytest.approx(title_rows)
+
+    def test_estimate_zero_when_no_sample_qualifies(self, tiny_database):
+        samples = MaterializedSamples(tiny_database, sample_size=50, seed=9)
+        predicates = [Predicate("title", "production_year", Operator.GT, 99999)]
+        assert samples.estimate_base_cardinality("title", predicates) == 0.0

@@ -1,0 +1,135 @@
+"""Tests of schema metadata and the join graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.imdb import imdb_schema
+from repro.db.schema import ColumnSchema, ForeignKey, Schema, TableSchema
+
+
+def simple_schema() -> Schema:
+    users = TableSchema(
+        "users",
+        (
+            ColumnSchema("id", "primary_key"),
+            ColumnSchema("age"),
+        ),
+    )
+    orders = TableSchema(
+        "orders",
+        (
+            ColumnSchema("id", "primary_key"),
+            ColumnSchema("user_id", "foreign_key"),
+            ColumnSchema("amount"),
+        ),
+    )
+    return Schema(
+        tables=(users, orders),
+        foreign_keys=(ForeignKey("orders", "user_id", "users", "id"),),
+    )
+
+
+class TestColumnSchema:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            ColumnSchema("x", "bogus")
+
+    def test_is_key(self):
+        assert ColumnSchema("id", "primary_key").is_key
+        assert ColumnSchema("ref", "foreign_key").is_key
+        assert not ColumnSchema("age").is_key
+
+
+class TestTableSchema:
+    def test_rejects_duplicate_columns(self):
+        with pytest.raises(ValueError):
+            TableSchema("t", (ColumnSchema("a"), ColumnSchema("a")))
+
+    def test_rejects_two_primary_keys(self):
+        with pytest.raises(ValueError):
+            TableSchema("t", (ColumnSchema("a", "primary_key"), ColumnSchema("b", "primary_key")))
+
+    def test_primary_key_lookup(self):
+        table = simple_schema().table("users")
+        assert table.primary_key == "id"
+        assert TableSchema("t", (ColumnSchema("a"),)).primary_key is None
+
+    def test_non_key_columns(self):
+        assert simple_schema().table("orders").non_key_columns == ("amount",)
+
+    def test_column_lookup(self):
+        table = simple_schema().table("users")
+        assert table.column("age").name == "age"
+        with pytest.raises(KeyError):
+            table.column("missing")
+        assert table.has_column("age") and not table.has_column("missing")
+
+
+class TestSchema:
+    def test_rejects_duplicate_tables(self):
+        table = TableSchema("t", (ColumnSchema("a"),))
+        with pytest.raises(ValueError):
+            Schema(tables=(table, table))
+
+    def test_rejects_foreign_key_to_unknown_table(self):
+        users = TableSchema("users", (ColumnSchema("id", "primary_key"),))
+        with pytest.raises(ValueError):
+            Schema(tables=(users,), foreign_keys=(ForeignKey("orders", "user_id", "users", "id"),))
+
+    def test_rejects_foreign_key_to_unknown_column(self):
+        schema = simple_schema()
+        with pytest.raises(ValueError):
+            Schema(
+                tables=schema.tables,
+                foreign_keys=(ForeignKey("orders", "missing", "users", "id"),),
+            )
+
+    def test_table_lookup(self):
+        schema = simple_schema()
+        assert schema.table("users").name == "users"
+        assert schema.has_table("orders") and not schema.has_table("products")
+        with pytest.raises(KeyError):
+            schema.table("products")
+
+    def test_joinable_tables(self):
+        schema = simple_schema()
+        assert schema.joinable_tables("users") == ("orders",)
+        assert schema.joinable_tables("orders") == ("users",)
+
+    def test_join_edge_between(self):
+        schema = simple_schema()
+        edge = schema.join_edge_between("users", "orders")
+        assert edge is not None and edge.column == "user_id"
+        assert schema.join_edge_between("users", "users") is None
+
+    def test_tables_in_join_graph(self):
+        assert set(simple_schema().tables_in_join_graph()) == {"users", "orders"}
+
+    def test_non_key_columns_pairs(self):
+        assert set(simple_schema().non_key_columns()) == {("users", "age"), ("orders", "amount")}
+
+    def test_foreign_key_join_key_is_direction_independent(self):
+        forward = ForeignKey("orders", "user_id", "users", "id")
+        assert forward.join_key == "=".join(sorted(("orders.user_id", "users.id")))
+
+
+class TestIMDbSchema:
+    def test_star_schema_shape(self):
+        schema = imdb_schema()
+        assert set(schema.table_names) == {
+            "title",
+            "movie_companies",
+            "cast_info",
+            "movie_info",
+            "movie_info_idx",
+            "movie_keyword",
+        }
+        # Every fact table joins title through movie_id.
+        assert len(schema.join_edges()) == 5
+        assert set(schema.joinable_tables("title")) == set(schema.table_names) - {"title"}
+
+    def test_title_non_key_columns(self):
+        schema = imdb_schema()
+        assert "production_year" in schema.table("title").non_key_columns
+        assert "id" not in schema.table("title").non_key_columns

@@ -1,0 +1,111 @@
+"""Tests of the workload text format (round-trips, error handling)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.predicates import Operator
+from repro.db.query import JoinCondition, Predicate, Query
+from repro.db.sql import (
+    format_workload_line,
+    load_workload,
+    parse_workload_line,
+    query_to_sql,
+    save_workload,
+)
+
+
+def example_query() -> Query:
+    return Query(
+        tables=("title", "movie_companies"),
+        joins=(JoinCondition("movie_companies", "movie_id", "title", "id"),),
+        predicates=(
+            Predicate("title", "production_year", Operator.GT, 2010),
+            Predicate("movie_companies", "company_id", Operator.EQ, 5),
+        ),
+    )
+
+
+class TestFormatting:
+    def test_query_to_sql_matches_query_method(self):
+        query = example_query()
+        assert query_to_sql(query) == query.to_sql()
+
+    def test_format_line_structure(self):
+        line = format_workload_line(example_query(), 1234)
+        tables, joins, predicates, cardinality = line.split("#")
+        assert tables == "title,movie_companies"
+        assert joins == "movie_companies.movie_id=title.id"
+        assert predicates.count(",") == 5
+        assert cardinality == "1234"
+
+    def test_roundtrip(self):
+        query = example_query()
+        parsed_query, cardinality = parse_workload_line(format_workload_line(query, 77))
+        assert cardinality == 77
+        assert parsed_query.signature() == query.signature()
+
+    def test_single_table_query_roundtrip(self):
+        query = Query(tables=("title",))
+        parsed_query, cardinality = parse_workload_line(format_workload_line(query, 5))
+        assert parsed_query.tables == ("title",)
+        assert parsed_query.joins == ()
+        assert parsed_query.predicates == ()
+        assert cardinality == 5
+
+
+class TestParsingErrors:
+    def test_wrong_field_count(self):
+        with pytest.raises(ValueError):
+            parse_workload_line("a#b#c")
+
+    def test_missing_tables(self):
+        with pytest.raises(ValueError):
+            parse_workload_line("###5")
+
+    def test_malformed_predicates(self):
+        with pytest.raises(ValueError):
+            parse_workload_line("title##title.production_year,>#5")
+
+
+class TestFiles:
+    def test_save_and_load_roundtrip(self, tmp_path, tiny_workload):
+        path = tmp_path / "workload.csv"
+        labelled = [(q.query, q.cardinality) for q in tiny_workload[:25]]
+        save_workload(labelled, path)
+        loaded = load_workload(path)
+        assert len(loaded) == 25
+        for (original_query, original_card), (loaded_query, loaded_card) in zip(labelled, loaded):
+            assert original_card == loaded_card
+            assert original_query.signature() == loaded_query.signature()
+
+    def test_load_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "workload.csv"
+        path.write_text(format_workload_line(Query(tables=("title",)), 3) + "\n\n")
+        assert len(load_workload(path)) == 1
+
+
+operators = st.sampled_from(["=", "<", ">"])
+
+
+class TestRoundtripProperty:
+    @given(
+        st.integers(-1_000_000, 1_000_000),
+        operators,
+        st.integers(1, 10**9),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_arbitrary_literals_roundtrip(self, literal, operator, cardinality):
+        query = Query(
+            tables=("title",),
+            predicates=(Predicate("title", "production_year", operator, literal),),
+        )
+        parsed_query, parsed_cardinality = parse_workload_line(
+            format_workload_line(query, cardinality)
+        )
+        assert parsed_cardinality == cardinality
+        predicate = parsed_query.predicates[0]
+        assert predicate.value == literal
+        assert predicate.operator.value == operator

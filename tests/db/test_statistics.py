@@ -1,0 +1,157 @@
+"""Tests of ANALYZE-style statistics and selectivity estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.predicates import Operator
+from repro.db.query import Predicate
+from repro.db.statistics import (
+    ColumnStatistics,
+    DatabaseStatistics,
+    TableStatistics,
+    estimate_num_distinct,
+)
+
+
+class TestColumnStatistics:
+    def test_basic_summary(self):
+        values = np.array([1, 1, 2, 3, 3, 3, 10])
+        stats = ColumnStatistics.from_values("t", "c", values)
+        assert stats.row_count == 7
+        assert stats.num_distinct == 4
+        assert stats.minimum == 1
+        assert stats.maximum == 10
+
+    def test_empty_column(self):
+        stats = ColumnStatistics.from_values("t", "c", np.array([], dtype=np.int64))
+        assert stats.row_count == 0
+        assert stats.selectivity(Operator.EQ, 1) == 0.0
+
+    def test_equality_selectivity_uses_mcv(self):
+        values = np.array([5] * 90 + list(range(100, 110)))
+        stats = ColumnStatistics.from_values("t", "c", values, num_mcvs=1)
+        assert stats.equality_selectivity(5) == pytest.approx(0.9)
+
+    def test_equality_selectivity_for_non_mcv_value(self):
+        values = np.array([5] * 90 + list(range(100, 110)))
+        stats = ColumnStatistics.from_values("t", "c", values, num_mcvs=1)
+        # Remaining mass 0.1 spread over the 10 non-MCV distinct values.
+        assert stats.equality_selectivity(105) == pytest.approx(0.01)
+
+    def test_equality_selectivity_when_all_values_are_mcvs(self):
+        values = np.array([1, 1, 2, 2])
+        stats = ColumnStatistics.from_values("t", "c", values)
+        assert stats.equality_selectivity(3) == 0.0
+
+    def test_range_selectivity_monotone_in_value(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 1000, size=5000)
+        stats = ColumnStatistics.from_values("t", "c", values)
+        low = stats.range_selectivity(Operator.LT, 100)
+        high = stats.range_selectivity(Operator.LT, 900)
+        assert 0.0 <= low <= high <= 1.0
+        assert low == pytest.approx(0.1, abs=0.05)
+        assert high == pytest.approx(0.9, abs=0.05)
+
+    def test_gt_and_lt_are_complementary(self):
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 1000, size=5000)
+        stats = ColumnStatistics.from_values("t", "c", values)
+        total = (
+            stats.range_selectivity(Operator.LT, 500)
+            + stats.range_selectivity(Operator.GT, 500)
+            + stats.equality_selectivity(500)
+        )
+        assert total == pytest.approx(1.0, abs=0.05)
+
+    def test_range_selectivity_outside_bounds(self):
+        values = np.arange(100)
+        stats = ColumnStatistics.from_values("t", "c", values)
+        assert stats.range_selectivity(Operator.LT, -5) == 0.0
+        assert stats.range_selectivity(Operator.GT, 200) == 0.0
+
+    def test_range_selectivity_rejects_equality_operator(self):
+        stats = ColumnStatistics.from_values("t", "c", np.arange(10))
+        with pytest.raises(ValueError):
+            stats.range_selectivity(Operator.EQ, 3)
+
+    @given(st.integers(0, 5000), st.integers(0, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_selectivity_is_always_a_probability(self, seed, literal):
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, 200, size=300)
+        stats = ColumnStatistics.from_values("t", "c", values)
+        for operator in (Operator.EQ, Operator.LT, Operator.GT):
+            assert 0.0 <= stats.selectivity(operator, literal) <= 1.0
+
+    def test_sampled_statistics_estimate_distinct_count(self):
+        rng = np.random.default_rng(2)
+        values = rng.integers(0, 5000, size=20_000)
+        exact = ColumnStatistics.from_values("t", "c", values)
+        sampled = ColumnStatistics.from_values("t", "c", values, sample_rows=2_000, rng=rng)
+        assert sampled.row_count == exact.row_count
+        # The Duj1 estimate is in the right ballpark but generally not exact.
+        assert 0.3 * exact.num_distinct <= sampled.num_distinct <= 2.0 * exact.num_distinct
+
+
+class TestEstimateNumDistinct:
+    def test_full_sample_is_exact(self):
+        values = np.array([1, 2, 2, 3])
+        assert estimate_num_distinct(values, table_rows=4) == 3
+
+    def test_all_unique_sample_extrapolates(self):
+        sample = np.arange(100)
+        estimate = estimate_num_distinct(sample, table_rows=10_000)
+        assert estimate == 10_000
+
+    def test_no_singletons_returns_sample_distincts(self):
+        sample = np.array([1, 1, 2, 2, 3, 3])
+        assert estimate_num_distinct(sample, table_rows=1000) == 3
+
+    def test_empty_sample(self):
+        assert estimate_num_distinct(np.array([]), table_rows=100) == 0
+
+    def test_estimate_bounded_by_table_rows(self):
+        sample = np.arange(50)
+        assert estimate_num_distinct(sample, table_rows=60) <= 60
+
+
+class TestDatabaseStatistics:
+    def test_table_and_column_lookup(self, two_table_database):
+        statistics = DatabaseStatistics(two_table_database)
+        assert statistics.table("fact").row_count == 10
+        assert statistics.column("fact", "value").num_distinct == 4
+        with pytest.raises(KeyError):
+            statistics.table("missing")
+        with pytest.raises(KeyError):
+            statistics.table("fact").column("missing")
+
+    def test_predicate_selectivity(self, two_table_database):
+        statistics = DatabaseStatistics(two_table_database)
+        predicate = Predicate("fact", "value", Operator.EQ, 5)
+        assert statistics.predicate_selectivity(predicate) == pytest.approx(0.4)
+
+    def test_conjunction_multiplies_selectivities(self, two_table_database):
+        statistics = DatabaseStatistics(two_table_database)
+        predicates = [
+            Predicate("fact", "value", Operator.EQ, 5),
+            Predicate("fact", "dim_id", Operator.EQ, 4),
+        ]
+        expected = statistics.predicate_selectivity(predicates[0]) * (
+            statistics.predicate_selectivity(predicates[1])
+        )
+        assert statistics.conjunction_selectivity(predicates) == pytest.approx(expected)
+
+    def test_sampled_mode_keeps_row_counts_exact(self, tiny_database):
+        statistics = DatabaseStatistics(tiny_database, sample_rows=200)
+        assert statistics.table("title").row_count == tiny_database.table("title").num_rows
+        assert statistics.sample_rows == 200
+
+    def test_from_table_helper(self, two_table_database):
+        stats = TableStatistics.from_table(two_table_database.table("dim"))
+        assert stats.row_count == 4
+        assert set(stats.columns) == {"id", "category"}

@@ -1,0 +1,82 @@
+"""Tests of the PostgreSQL-style baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db.query import JoinCondition, Predicate, Query
+from repro.db.statistics import DatabaseStatistics
+from repro.estimators.postgres import PostgresEstimator
+
+
+@pytest.fixture(scope="module")
+def exact_estimator(two_table_database):
+    # Exact statistics so the small hand-built database gives predictable numbers.
+    return PostgresEstimator(
+        two_table_database, statistics=DatabaseStatistics(two_table_database)
+    )
+
+
+class TestBaseTables:
+    def test_unfiltered_table(self, exact_estimator):
+        assert exact_estimator.estimate(Query(tables=("fact",))) == pytest.approx(10.0)
+
+    def test_equality_predicate(self, exact_estimator):
+        query = Query(tables=("fact",), predicates=(Predicate("fact", "value", "=", 5),))
+        assert exact_estimator.estimate(query) == pytest.approx(4.0)
+
+    def test_independence_assumption_multiplies_selectivities(self, exact_estimator):
+        query = Query(
+            tables=("fact",),
+            predicates=(
+                Predicate("fact", "value", "=", 5),
+                Predicate("fact", "dim_id", "=", 4),
+            ),
+        )
+        # True cardinality is 1; independence predicts 10 * 0.4 * 0.4 = 1.6.
+        assert exact_estimator.estimate(query) == pytest.approx(1.6)
+
+    def test_estimates_never_below_one(self, exact_estimator):
+        query = Query(tables=("dim",), predicates=(Predicate("dim", "category", "=", 999),))
+        assert exact_estimator.estimate(query) >= 1.0
+
+
+class TestJoins:
+    def test_pk_fk_join_selectivity(self, exact_estimator):
+        join = JoinCondition("fact", "dim_id", "dim", "id")
+        assert exact_estimator.join_selectivity(join) == pytest.approx(0.25)
+
+    def test_unfiltered_join_estimate(self, exact_estimator):
+        query = Query(
+            tables=("dim", "fact"), joins=(JoinCondition("fact", "dim_id", "dim", "id"),)
+        )
+        # 4 * 10 * 1/4 = 10 = the true cardinality of a PK/FK join.
+        assert exact_estimator.estimate(query) == pytest.approx(10.0)
+
+    def test_join_with_filter(self, exact_estimator):
+        query = Query(
+            tables=("dim", "fact"),
+            joins=(JoinCondition("fact", "dim_id", "dim", "id"),),
+            predicates=(Predicate("dim", "category", "=", 20),),
+        )
+        # dim filter keeps 2 of 4 rows -> estimate 10 * 0.5 = 5 (truth is 7).
+        assert exact_estimator.estimate(query) == pytest.approx(5.0)
+
+
+class TestOnSyntheticIMDb:
+    def test_default_statistics_are_sampled(self, tiny_database):
+        estimator = PostgresEstimator(tiny_database, analyze_sample_rows=500)
+        assert estimator.statistics.sample_rows == 500
+
+    def test_estimates_are_finite_and_positive_on_workload(self, tiny_database, tiny_workload):
+        estimator = PostgresEstimator(tiny_database, analyze_sample_rows=500)
+        estimates = estimator.estimate_many([q.query for q in tiny_workload[:50]])
+        assert np.isfinite(estimates).all()
+        assert (estimates >= 1.0).all()
+
+    def test_unfiltered_base_tables_are_estimated_exactly(self, tiny_database):
+        estimator = PostgresEstimator(tiny_database)
+        for table in tiny_database.table_names:
+            estimate = estimator.estimate(Query(tables=(table,)))
+            assert estimate == pytest.approx(tiny_database.table(table).num_rows)

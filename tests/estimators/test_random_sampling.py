@@ -1,0 +1,81 @@
+"""Tests of the Random Sampling baseline and its 0-tuple fallback."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db.predicates import Operator
+from repro.db.query import JoinCondition, Predicate, Query
+from repro.db.sampling import MaterializedSamples
+from repro.estimators.random_sampling import RandomSamplingEstimator
+
+
+@pytest.fixture(scope="module")
+def full_sample_estimator(two_table_database):
+    """Sampling with sample_size >= table sizes: estimates become exact scans."""
+    samples = MaterializedSamples(two_table_database, sample_size=100, seed=1)
+    return RandomSamplingEstimator(two_table_database, samples)
+
+
+class TestBaseTables:
+    def test_exact_when_sample_covers_table(self, full_sample_estimator):
+        query = Query(tables=("fact",), predicates=(Predicate("fact", "value", "=", 5),))
+        assert full_sample_estimator.estimate(query) == pytest.approx(4.0)
+
+    def test_no_predicates_returns_row_count(self, full_sample_estimator):
+        assert full_sample_estimator.estimate(Query(tables=("dim",))) == pytest.approx(4.0)
+
+    def test_fallback_uses_individual_conjuncts(self, two_table_database):
+        samples = MaterializedSamples(two_table_database, sample_size=100, seed=1)
+        estimator = RandomSamplingEstimator(two_table_database, samples)
+        # The conjunction has zero qualifying rows (value=8 only occurs for
+        # dim_id=4), so the estimator falls back to multiplying the individual
+        # conjunct selectivities: 0.1 * 0.3 = 0.03 -> 0.3 rows -> clamped to 1.
+        query = Query(
+            tables=("fact",),
+            predicates=(
+                Predicate("fact", "value", Operator.EQ, 8),
+                Predicate("fact", "dim_id", Operator.EQ, 3),
+            ),
+        )
+        assert estimator.estimate(query) == pytest.approx(1.0)
+
+    def test_fallback_uses_distinct_count_when_conjunct_has_no_samples(self, two_table_database):
+        samples = MaterializedSamples(two_table_database, sample_size=100, seed=1)
+        estimator = RandomSamplingEstimator(two_table_database, samples)
+        # value=999 never occurs: the educated guess is 1/num_distinct(value) = 1/4.
+        selectivity = estimator.base_table_selectivity(
+            "fact", [Predicate("fact", "value", Operator.EQ, 999)]
+        )
+        assert selectivity == pytest.approx(0.25)
+
+    def test_zero_tuple_situation_on_synthetic_data(self, tiny_database):
+        samples = MaterializedSamples(tiny_database, sample_size=20, seed=3)
+        estimator = RandomSamplingEstimator(tiny_database, samples)
+        # A very selective predicate that the 20-row sample almost surely misses.
+        person = int(tiny_database.table("cast_info").column("person_id").max())
+        query = Query(
+            tables=("cast_info",),
+            predicates=(Predicate("cast_info", "person_id", Operator.EQ, person),),
+        )
+        estimate = estimator.estimate(query)
+        assert estimate >= 1.0
+        assert np.isfinite(estimate)
+
+
+class TestJoins:
+    def test_join_uses_independence(self, full_sample_estimator):
+        query = Query(
+            tables=("dim", "fact"),
+            joins=(JoinCondition("fact", "dim_id", "dim", "id"),),
+            predicates=(Predicate("dim", "category", "=", 20),),
+        )
+        # Base estimates 2 and 10, join selectivity 1/4 -> 5 (truth 7).
+        assert full_sample_estimator.estimate(query) == pytest.approx(5.0)
+
+    def test_estimates_on_workload_are_positive(self, tiny_database, tiny_samples, tiny_workload):
+        estimator = RandomSamplingEstimator(tiny_database, tiny_samples)
+        estimates = estimator.estimate_many([q.query for q in tiny_workload[:50]])
+        assert (estimates >= 1.0).all()
+        assert np.isfinite(estimates).all()

@@ -1,0 +1,24 @@
+"""Tests of the oracle estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.estimators.true import TrueCardinalityEstimator
+from repro.evaluation.metrics import q_errors
+
+
+def test_oracle_matches_labels(tiny_database, tiny_workload):
+    oracle = TrueCardinalityEstimator(tiny_database)
+    subset = tiny_workload[:25]
+    estimates = oracle.estimate_many([q.query for q in subset])
+    truths = np.array([q.cardinality for q in subset], dtype=float)
+    np.testing.assert_allclose(q_errors(estimates, truths), np.ones(len(subset)))
+
+
+def test_oracle_clamps_empty_results_to_one(two_table_database):
+    from repro.db.query import Predicate, Query
+
+    oracle = TrueCardinalityEstimator(two_table_database)
+    query = Query(tables=("fact",), predicates=(Predicate("fact", "value", ">", 100),))
+    assert oracle.estimate(query) == 1.0

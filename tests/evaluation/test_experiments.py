@@ -1,0 +1,70 @@
+"""Tests of the shared experiment configuration used by the benchmarks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import FeaturizationVariant
+from repro.datasets.imdb import SyntheticIMDbConfig
+from repro.evaluation.experiments import PAPER_SCALE, SMALL_SCALE, ExperimentContext, ExperimentScale
+
+
+class TestScales:
+    def test_small_scale_is_laptop_sized(self):
+        assert SMALL_SCALE.database_config.num_titles <= 50_000
+        assert SMALL_SCALE.num_training_queries <= 20_000
+
+    def test_paper_scale_documents_original_parameters(self):
+        assert PAPER_SCALE.num_training_queries == 100_000
+        assert PAPER_SCALE.sample_size == 1000
+        assert PAPER_SCALE.hidden_units == 256
+        assert PAPER_SCALE.epochs == 100
+        assert PAPER_SCALE.batch_size == 1024
+
+    def test_mscn_config_reflects_scale(self):
+        config = SMALL_SCALE.mscn_config(FeaturizationVariant.NUM_SAMPLES, epochs=3)
+        assert config.hidden_units == SMALL_SCALE.hidden_units
+        assert config.variant is FeaturizationVariant.NUM_SAMPLES
+        assert config.epochs == 3
+        assert config.num_samples == SMALL_SCALE.sample_size
+
+
+class TestContext:
+    @pytest.fixture(scope="class")
+    def context(self):
+        scale = ExperimentScale(
+            name="test",
+            database_config=SyntheticIMDbConfig(
+                num_titles=800, num_companies=120, num_persons=1500, num_keywords=300, seed=1
+            ),
+            num_training_queries=150,
+            num_synthetic_queries=60,
+            scale_queries_per_join_count=5,
+            sample_size=30,
+            hidden_units=16,
+            epochs=3,
+            batch_size=64,
+        )
+        return ExperimentContext(scale=scale)
+
+    def test_database_and_samples_are_cached(self, context):
+        assert context.database is context.database
+        assert context.samples is context.samples
+        assert context.samples.sample_size == 30
+
+    def test_workloads_have_requested_sizes(self, context):
+        assert len(context.training_workload) == 150
+        assert len(context.synthetic_workload) == 60
+
+    def test_training_and_evaluation_workloads_use_different_seeds(self, context):
+        train_signatures = {q.query.signature() for q in context.training_workload}
+        test_signatures = {q.query.signature() for q in context.synthetic_workload}
+        # The two workloads come from different generator seeds; a small
+        # overlap is possible but they must not coincide.
+        assert len(test_signatures - train_signatures) > 0
+
+    def test_trained_mscn_is_cached_per_variant(self, context):
+        first = context.trained_mscn(FeaturizationVariant.NO_SAMPLES)
+        second = context.trained_mscn(FeaturizationVariant.NO_SAMPLES)
+        assert first is second
+        assert first.training_result is not None

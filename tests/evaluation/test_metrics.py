@@ -1,0 +1,80 @@
+"""Tests of q-error metrics and summaries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.metrics import (
+    QErrorSummary,
+    q_error,
+    q_errors,
+    signed_ratio,
+    summarize_q_errors,
+)
+
+
+class TestQError:
+    def test_perfect_estimate(self):
+        assert q_error(100, 100) == 1.0
+
+    def test_symmetry(self):
+        assert q_error(10, 1000) == q_error(1000, 10) == 100.0
+
+    def test_clamps_to_one_tuple(self):
+        assert q_error(0.0, 1.0) == 1.0
+        assert q_error(0.5, 10) == pytest.approx(10.0)
+
+    def test_vectorized_matches_scalar(self):
+        estimates = np.array([1.0, 10.0, 500.0])
+        truths = np.array([2.0, 10.0, 50.0])
+        expected = [q_error(e, t) for e, t in zip(estimates, truths)]
+        np.testing.assert_allclose(q_errors(estimates, truths), expected)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            q_errors([1.0], [1.0, 2.0])
+
+    @given(st.floats(1, 1e9), st.floats(1, 1e9))
+    @settings(max_examples=100, deadline=None)
+    def test_q_error_properties(self, estimate, truth):
+        value = q_error(estimate, truth)
+        assert value >= 1.0
+        assert value == pytest.approx(q_error(truth, estimate))
+
+
+class TestSignedRatio:
+    def test_over_and_under_estimation(self):
+        ratios = signed_ratio([10.0, 1000.0], [100.0, 100.0])
+        assert ratios[0] == pytest.approx(0.1)
+        assert ratios[1] == pytest.approx(10.0)
+
+
+class TestSummary:
+    def test_summary_percentiles(self):
+        errors = np.arange(1, 101, dtype=float)
+        summary = summarize_q_errors(errors)
+        assert isinstance(summary, QErrorSummary)
+        assert summary.count == 100
+        assert summary.median == pytest.approx(50.5)
+        assert summary.maximum == 100.0
+        assert summary.mean == pytest.approx(50.5)
+        assert summary.percentile_90 == pytest.approx(np.percentile(errors, 90))
+
+    def test_summary_as_row_order_matches_paper_tables(self):
+        summary = summarize_q_errors([1.0, 2.0, 3.0])
+        row = summary.as_row()
+        assert row == (
+            summary.median,
+            summary.percentile_90,
+            summary.percentile_95,
+            summary.percentile_99,
+            summary.maximum,
+            summary.mean,
+        )
+
+    def test_empty_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_q_errors([])

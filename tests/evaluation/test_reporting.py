@@ -1,0 +1,61 @@
+"""Tests of the paper-style report formatting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.estimators.true import TrueCardinalityEstimator
+from repro.evaluation.metrics import summarize_q_errors
+from repro.evaluation.reporting import (
+    format_convergence_series,
+    format_join_breakdown,
+    format_summary_table,
+    format_workload_distribution,
+)
+from repro.evaluation.runner import evaluate_estimator
+
+
+class TestSummaryTable:
+    def test_contains_estimators_and_columns(self):
+        summaries = {
+            "PostgreSQL": summarize_q_errors([1.5, 2.0, 100.0]),
+            "MSCN": summarize_q_errors([1.1, 1.2, 3.0]),
+        }
+        text = format_summary_table(summaries, title="Table 2")
+        assert "Table 2" in text
+        assert "PostgreSQL" in text and "MSCN" in text
+        assert "median" in text and "99th" in text and "mean" in text
+        assert len(text.splitlines()) == 5
+
+    def test_large_values_formatted_with_thousands_separator(self):
+        summaries = {"x": summarize_q_errors([123456.0, 2.0])}
+        assert "123,456" in format_summary_table(summaries)
+
+
+class TestJoinBreakdown:
+    def test_rows_per_estimator_and_join_count(self, tiny_database, tiny_workload):
+        result = evaluate_estimator(TrueCardinalityEstimator(tiny_database), tiny_workload)
+        text = format_join_breakdown({"oracle": result}, title="Figure 3")
+        assert "Figure 3" in text
+        # Header + separator + one row per join count (0, 1, 2).
+        assert len(text.splitlines()) == 6
+
+
+class TestWorkloadDistribution:
+    def test_matches_table1_layout(self, tiny_workload):
+        text = format_workload_distribution({"synthetic": tiny_workload}, max_joins=4)
+        lines = text.splitlines()
+        assert lines[0].split()[:6] == ["workload", "0", "1", "2", "3", "4"]
+        counts = lines[2].split()
+        assert counts[0] == "synthetic"
+        assert int(counts[-1]) == len(tiny_workload)
+        assert sum(int(value) for value in counts[1:-1]) == len(tiny_workload)
+
+
+class TestConvergenceSeries:
+    def test_one_row_per_epoch(self):
+        text = format_convergence_series([10.0, 5.0, 3.5])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[1].split()[0] == "1"
+        assert np.isclose(float(lines[-1].split()[1]), 3.5)

@@ -1,0 +1,60 @@
+"""Tests of the evaluation runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.estimators.postgres import PostgresEstimator
+from repro.estimators.true import TrueCardinalityEstimator
+from repro.evaluation.runner import EvaluationResult, evaluate_estimator, evaluate_estimators
+
+
+@pytest.fixture(scope="module")
+def oracle_result(tiny_database, tiny_workload):
+    return evaluate_estimator(TrueCardinalityEstimator(tiny_database), tiny_workload)
+
+
+class TestEvaluateEstimator:
+    def test_result_dimensions(self, oracle_result, tiny_workload):
+        assert len(oracle_result.estimates) == len(tiny_workload)
+        assert len(oracle_result.q_errors) == len(tiny_workload)
+        assert oracle_result.estimator_name == "True cardinality"
+
+    def test_oracle_has_unit_q_errors(self, oracle_result):
+        np.testing.assert_allclose(oracle_result.q_errors, 1.0)
+        summary = oracle_result.summary()
+        assert summary.median == summary.maximum == 1.0
+
+    def test_summary_by_joins_partitions_workload(self, oracle_result, tiny_workload):
+        summaries = oracle_result.summary_by_joins()
+        assert set(summaries) == {0, 1, 2}
+        assert sum(summary.count for summary in summaries.values()) == len(tiny_workload)
+
+    def test_signed_percentiles_by_joins(self, oracle_result):
+        percentiles = oracle_result.signed_percentiles_by_joins(percentiles=(50.0,))
+        for values in percentiles.values():
+            assert values[50.0] == pytest.approx(1.0)
+
+    def test_subset_by_mask(self, oracle_result):
+        mask = oracle_result.join_counts == 0
+        subset = oracle_result.subset(mask)
+        assert isinstance(subset, EvaluationResult)
+        assert len(subset.estimates) == int(mask.sum())
+        assert (subset.join_counts == 0).all()
+
+    def test_empty_workload_rejected(self, tiny_database):
+        with pytest.raises(ValueError):
+            evaluate_estimator(TrueCardinalityEstimator(tiny_database), [])
+
+
+class TestEvaluateEstimators:
+    def test_results_keyed_by_name(self, tiny_database, tiny_workload):
+        estimators = [
+            TrueCardinalityEstimator(tiny_database),
+            PostgresEstimator(tiny_database, analyze_sample_rows=500),
+        ]
+        results = evaluate_estimators(estimators, tiny_workload[:30])
+        assert set(results) == {"True cardinality", "PostgreSQL"}
+        for result in results.values():
+            assert len(result.estimates) == 30

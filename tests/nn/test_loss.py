@@ -1,0 +1,81 @@
+"""Tests of the training objectives (q-error, MSE, geometric q-error)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.loss import geometric_q_error_loss, mse_loss, q_error_loss
+from repro.nn.tensor import Tensor
+
+
+class TestQErrorLoss:
+    def test_perfect_prediction_gives_one(self):
+        cards = Tensor([[10.0], [500.0]])
+        assert q_error_loss(cards, cards).item() == pytest.approx(1.0)
+
+    def test_symmetry_of_over_and_under_estimation(self):
+        true = Tensor([[100.0]])
+        over = q_error_loss(Tensor([[1000.0]]), true).item()
+        under = q_error_loss(Tensor([[10.0]]), true).item()
+        assert over == pytest.approx(under) == pytest.approx(10.0)
+
+    def test_mean_over_batch(self):
+        predictions = Tensor([[10.0], [100.0]])
+        truths = Tensor([[10.0], [50.0]])
+        assert q_error_loss(predictions, truths).item() == pytest.approx((1.0 + 2.0) / 2)
+
+    def test_clamps_tiny_predictions(self):
+        loss = q_error_loss(Tensor([[0.0]]), Tensor([[5.0]])).item()
+        assert loss == pytest.approx(5.0)
+
+    def test_gradient_points_towards_truth(self):
+        prediction = Tensor([[10.0]], requires_grad=True)
+        q_error_loss(prediction, Tensor([[100.0]])).backward()
+        # Under-estimation: increasing the prediction reduces the loss.
+        assert prediction.grad[0, 0] < 0
+
+    @given(
+        st.floats(1.0, 1e6),
+        st.floats(1.0, 1e6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_q_error_at_least_one(self, prediction, truth):
+        loss = q_error_loss(Tensor([[prediction]]), Tensor([[truth]])).item()
+        assert loss >= 1.0 - 1e-12
+
+
+class TestGeometricQError:
+    def test_log_of_q_error(self):
+        loss = geometric_q_error_loss(Tensor([[1000.0]]), Tensor([[10.0]])).item()
+        assert loss == pytest.approx(np.log(100.0))
+
+    def test_perfect_prediction_gives_zero(self):
+        cards = Tensor([[42.0]])
+        assert geometric_q_error_loss(cards, cards).item() == pytest.approx(0.0)
+
+    def test_less_sensitive_to_outliers_than_mean_q_error(self):
+        predictions = Tensor([[10.0], [1e6]])
+        truths = Tensor([[10.0], [10.0]])
+        mean_q = q_error_loss(predictions, truths).item()
+        geometric = geometric_q_error_loss(predictions, truths).item()
+        assert geometric < mean_q
+
+
+class TestMSE:
+    def test_zero_for_equal_inputs(self):
+        values = Tensor([[0.3], [0.8]])
+        assert mse_loss(values, values).item() == pytest.approx(0.0)
+
+    def test_matches_numpy(self):
+        predictions = np.array([[0.1], [0.9]])
+        targets = np.array([[0.2], [0.4]])
+        expected = ((predictions - targets) ** 2).mean()
+        assert mse_loss(Tensor(predictions), Tensor(targets)).item() == pytest.approx(expected)
+
+    def test_gradient_direction(self):
+        prediction = Tensor([[0.9]], requires_grad=True)
+        mse_loss(prediction, Tensor([[0.1]])).backward()
+        assert prediction.grad[0, 0] > 0

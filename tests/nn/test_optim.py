@@ -1,0 +1,97 @@
+"""Tests of the optimizers: convergence on simple problems."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.tensor import Tensor
+
+
+def quadratic_loss(parameter: Tensor) -> Tensor:
+    """(x - 3)^2 summed; minimized at x = 3."""
+    difference = parameter - Tensor(np.full_like(parameter.numpy(), 3.0))
+    return (difference * difference).sum()
+
+
+class TestValidation:
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([])
+
+    def test_parameters_must_require_grad(self):
+        with pytest.raises(ValueError):
+            Adam([Tensor([1.0])])
+
+    def test_learning_rate_must_be_positive(self):
+        parameter = Tensor([0.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            SGD([parameter], learning_rate=0.0)
+        with pytest.raises(ValueError):
+            Adam([parameter], learning_rate=-1.0)
+
+    def test_momentum_and_beta_bounds(self):
+        parameter = Tensor([0.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            SGD([parameter], momentum=1.0)
+        with pytest.raises(ValueError):
+            Adam([parameter], betas=(1.0, 0.9))
+
+    def test_base_step_not_implemented(self):
+        parameter = Tensor([0.0], requires_grad=True)
+        with pytest.raises(NotImplementedError):
+            Optimizer([parameter]).step()
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("optimizer_name", ["sgd", "sgd_momentum", "adam"])
+    def test_minimizes_quadratic(self, optimizer_name):
+        parameter = Tensor(np.array([10.0, -4.0]), requires_grad=True)
+        if optimizer_name == "sgd":
+            optimizer = SGD([parameter], learning_rate=0.1)
+        elif optimizer_name == "sgd_momentum":
+            optimizer = SGD([parameter], learning_rate=0.05, momentum=0.9)
+        else:
+            optimizer = Adam([parameter], learning_rate=0.3)
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss = quadratic_loss(parameter)
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(parameter.numpy(), [3.0, 3.0], atol=1e-2)
+
+    def test_adam_fits_linear_regression(self):
+        rng = np.random.default_rng(5)
+        true_weight = np.array([[2.0], [-1.5], [0.5]])
+        inputs = rng.normal(size=(200, 3))
+        targets = inputs @ true_weight + 0.7
+        layer = Linear(3, 1, rng=rng)
+        optimizer = Adam(layer.parameters(), learning_rate=0.05)
+        for _ in range(300):
+            optimizer.zero_grad()
+            predictions = layer(Tensor(inputs))
+            difference = predictions - Tensor(targets)
+            loss = (difference * difference).mean()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(layer.weight.numpy(), true_weight, atol=0.05)
+        np.testing.assert_allclose(layer.bias.numpy(), [0.7], atol=0.05)
+
+    def test_step_skips_parameters_without_gradients(self):
+        used = Tensor([1.0], requires_grad=True)
+        unused = Tensor([5.0], requires_grad=True)
+        optimizer = Adam([used, unused], learning_rate=0.1)
+        loss = (used * used).sum()
+        loss.backward()
+        optimizer.step()
+        np.testing.assert_allclose(unused.numpy(), [5.0])
+        assert used.numpy()[0] != 1.0
+
+    def test_zero_grad_resets_all(self):
+        parameter = Tensor([1.0], requires_grad=True)
+        optimizer = SGD([parameter], learning_rate=0.1)
+        (parameter * 2).sum().backward()
+        optimizer.zero_grad()
+        assert parameter.grad is None

@@ -1,0 +1,41 @@
+"""Tests of model parameter (de)serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import MLP
+from repro.nn.serialization import load_state_dict, save_state_dict, state_dict_num_bytes
+
+
+def test_save_and_load_roundtrip(tmp_path):
+    model = MLP(4, 8, rng=np.random.default_rng(1))
+    path = tmp_path / "weights.npz"
+    save_state_dict(model.state_dict(), path)
+    loaded = load_state_dict(path)
+    assert set(loaded) == set(model.state_dict())
+    for name, value in model.state_dict().items():
+        np.testing.assert_allclose(loaded[name], value)
+
+
+def test_loaded_state_restores_model_output(tmp_path):
+    rng = np.random.default_rng(2)
+    source = MLP(4, 8, rng=rng)
+    target = MLP(4, 8, rng=np.random.default_rng(77))
+    path = tmp_path / "weights.npz"
+    save_state_dict(source.state_dict(), path)
+    target.load_state_dict(load_state_dict(path))
+    from repro.nn.tensor import Tensor
+
+    inputs = Tensor(np.random.default_rng(3).normal(size=(5, 4)))
+    np.testing.assert_allclose(source(inputs).numpy(), target(inputs).numpy())
+
+
+def test_state_dict_num_bytes_tracks_model_size():
+    small = MLP(4, 8, rng=np.random.default_rng(1))
+    large = MLP(4, 64, rng=np.random.default_rng(1))
+    small_bytes = state_dict_num_bytes(small.state_dict())
+    large_bytes = state_dict_num_bytes(large.state_dict())
+    assert large_bytes > small_bytes
+    # At least the raw float64 payload must be accounted for.
+    assert small_bytes >= small.num_parameters() * 8

@@ -1,0 +1,248 @@
+"""Tests of the autograd engine, including finite-difference gradient checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn.tensor import Tensor, concatenate, is_grad_enabled, maximum, no_grad
+
+
+def numerical_gradient(function, array: np.ndarray, epsilon: float = 1e-6) -> np.ndarray:
+    """Central finite-difference gradient of a scalar-valued ``function``."""
+    gradient = np.zeros_like(array, dtype=np.float64)
+    flat = array.reshape(-1)
+    gradient_flat = gradient.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        upper = function(array)
+        flat[index] = original - epsilon
+        lower = function(array)
+        flat[index] = original
+        gradient_flat[index] = (upper - lower) / (2 * epsilon)
+    return gradient
+
+
+def check_gradient(build_loss, arrays_in: list[np.ndarray], tolerance: float = 1e-5):
+    """Compare autograd gradients against finite differences for each input."""
+    tensors = [Tensor(array.copy(), requires_grad=True) for array in arrays_in]
+    loss = build_loss(*tensors)
+    loss.backward()
+    for position, (tensor, array) in enumerate(zip(tensors, arrays_in)):
+        def scalar_function(values, position=position):
+            candidates = [a.copy() for a in arrays_in]
+            candidates[position] = values
+            plain = [Tensor(a) for a in candidates]
+            return build_loss(*plain).item()
+
+        numeric = numerical_gradient(scalar_function, array.copy())
+        assert tensor.grad is not None
+        np.testing.assert_allclose(tensor.grad, numeric, rtol=tolerance, atol=tolerance)
+
+
+class TestBasics:
+    def test_tensor_wraps_data_as_float64(self):
+        tensor = Tensor([1, 2, 3])
+        assert tensor.data.dtype == np.float64
+        assert tensor.shape == (3,)
+        assert tensor.size == 3
+
+    def test_backward_requires_grad(self):
+        tensor = Tensor([1.0])
+        with pytest.raises(ValueError):
+            tensor.backward()
+
+    def test_backward_requires_scalar_without_seed(self):
+        tensor = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (tensor * 2).backward()
+
+    def test_backward_seed_shape_mismatch(self):
+        tensor = Tensor([1.0, 2.0], requires_grad=True)
+        out = tensor * 2
+        with pytest.raises(ValueError):
+            out.backward(np.ones((3,)))
+
+    def test_detach_cuts_graph(self):
+        tensor = Tensor([1.0, 2.0], requires_grad=True)
+        detached = tensor.detach()
+        assert not detached.requires_grad
+
+    def test_item_on_scalar(self):
+        assert Tensor([[3.5]]).item() == pytest.approx(3.5)
+
+    def test_no_grad_disables_graph(self):
+        tensor = Tensor([1.0], requires_grad=True)
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            result = tensor * 2
+        assert is_grad_enabled()
+        assert not result.requires_grad
+
+    def test_gradient_accumulates_over_multiple_uses(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = x * 3 + x * 4  # dy/dx = 7
+        y.backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_pow_requires_scalar_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_matmul_requires_2d(self):
+        with pytest.raises(ValueError):
+            Tensor([1.0]).matmul(Tensor([[1.0]]))
+
+    def test_transpose_requires_2d(self):
+        with pytest.raises(ValueError):
+            Tensor([1.0, 2.0]).transpose()
+
+
+class TestGradients:
+    def setup_method(self):
+        self.rng = np.random.default_rng(0)
+
+    def test_add_broadcast(self):
+        a = self.rng.normal(size=(3, 4))
+        b = self.rng.normal(size=(4,))
+        check_gradient(lambda x, y: (x + y).sum(), [a, b])
+
+    def test_sub_and_neg(self):
+        a = self.rng.normal(size=(2, 3))
+        b = self.rng.normal(size=(2, 3))
+        check_gradient(lambda x, y: (x - y).sum(), [a, b])
+
+    def test_mul_broadcast(self):
+        a = self.rng.normal(size=(3, 4))
+        b = self.rng.normal(size=(3, 1))
+        check_gradient(lambda x, y: (x * y).sum(), [a, b])
+
+    def test_div(self):
+        a = self.rng.normal(size=(3, 3))
+        b = self.rng.uniform(0.5, 2.0, size=(3, 3))
+        check_gradient(lambda x, y: (x / y).sum(), [a, b])
+
+    def test_pow(self):
+        a = self.rng.uniform(0.5, 2.0, size=(4,))
+        check_gradient(lambda x: (x**3).sum(), [a])
+
+    def test_matmul(self):
+        a = self.rng.normal(size=(3, 4))
+        b = self.rng.normal(size=(4, 2))
+        check_gradient(lambda x, y: x.matmul(y).sum(), [a, b])
+
+    def test_relu(self):
+        a = self.rng.normal(size=(5, 5)) + 0.1  # avoid the kink at zero
+        check_gradient(lambda x: x.relu().sum(), [a])
+
+    def test_sigmoid(self):
+        a = self.rng.normal(size=(4, 3))
+        check_gradient(lambda x: x.sigmoid().sum(), [a])
+
+    def test_exp_log(self):
+        a = self.rng.uniform(0.5, 2.0, size=(6,))
+        check_gradient(lambda x: (x.exp() + x.log()).sum(), [a])
+
+    def test_abs(self):
+        a = self.rng.normal(size=(5,)) + 0.2
+        check_gradient(lambda x: x.abs().sum(), [a])
+
+    def test_clip_pass_through_region(self):
+        a = self.rng.uniform(0.3, 0.7, size=(5,))
+        check_gradient(lambda x: x.clip(0.0, 1.0).sum(), [a])
+
+    def test_sum_axis_keepdims(self):
+        a = self.rng.normal(size=(3, 4, 2))
+        check_gradient(lambda x: (x.sum(axis=1, keepdims=True) * 2).sum(), [a])
+
+    def test_mean_axis(self):
+        a = self.rng.normal(size=(3, 4))
+        check_gradient(lambda x: x.mean(axis=0).sum(), [a])
+
+    def test_mean_all(self):
+        a = self.rng.normal(size=(3, 4))
+        check_gradient(lambda x: x.mean(), [a])
+
+    def test_reshape(self):
+        a = self.rng.normal(size=(6, 2))
+        check_gradient(lambda x: (x.reshape(3, 4) ** 2).sum(), [a])
+
+    def test_transpose(self):
+        a = self.rng.normal(size=(3, 5))
+        b = self.rng.normal(size=(3, 2))
+        check_gradient(lambda x, y: x.transpose().matmul(y).sum(), [a, b])
+
+    def test_concatenate(self):
+        a = self.rng.normal(size=(2, 3))
+        b = self.rng.normal(size=(2, 4))
+        check_gradient(lambda x, y: (concatenate((x, y), axis=1) ** 2).sum(), [a, b])
+
+    def test_maximum(self):
+        a = self.rng.normal(size=(5,))
+        b = a + self.rng.choice([-0.5, 0.5], size=(5,))  # keep a clear winner
+        check_gradient(lambda x, y: maximum(x, y).sum(), [a, b])
+
+    def test_composite_expression(self):
+        a = self.rng.normal(size=(4, 3))
+        b = self.rng.normal(size=(3, 2))
+        check_gradient(
+            lambda x, y: (x.matmul(y).relu().sigmoid() * 2.0 + 1.0).mean(), [a, b]
+        )
+
+
+class TestForwardValues:
+    def test_sigmoid_is_stable_for_large_inputs(self):
+        values = Tensor([1000.0, -1000.0]).sigmoid().numpy()
+        np.testing.assert_allclose(values, [1.0, 0.0], atol=1e-12)
+
+    def test_maximum_values(self):
+        result = maximum(Tensor([1.0, 5.0]), Tensor([3.0, 2.0]))
+        np.testing.assert_allclose(result.numpy(), [3.0, 5.0])
+
+    def test_concatenate_values(self):
+        result = concatenate((Tensor([[1.0]]), Tensor([[2.0, 3.0]])), axis=1)
+        np.testing.assert_allclose(result.numpy(), [[1.0, 2.0, 3.0]])
+
+    def test_concatenate_empty_list_raises(self):
+        with pytest.raises(ValueError):
+            concatenate(())
+
+    def test_clip_values(self):
+        result = Tensor([-1.0, 0.5, 2.0]).clip(0.0, 1.0)
+        np.testing.assert_allclose(result.numpy(), [0.0, 0.5, 1.0])
+
+
+class TestProperties:
+    @given(
+        arrays(np.float64, array_shapes(min_dims=1, max_dims=3, max_side=4),
+               elements=st.floats(-10, 10)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_add_scalar_broadcast_gradient_is_count(self, values):
+        tensor = Tensor(values, requires_grad=True)
+        scalar = Tensor(np.array(2.0), requires_grad=True)
+        (tensor + scalar).sum().backward()
+        np.testing.assert_allclose(tensor.grad, np.ones_like(values))
+        np.testing.assert_allclose(scalar.grad, values.size)
+
+    @given(
+        arrays(np.float64, st.tuples(st.integers(1, 5), st.integers(1, 5)),
+               elements=st.floats(-5, 5)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_sum_equals_numpy(self, values):
+        np.testing.assert_allclose(Tensor(values).sum().item(), values.sum(), atol=1e-9)
+
+    @given(
+        arrays(np.float64, st.tuples(st.integers(1, 4), st.integers(1, 4)),
+               elements=st.floats(0.1, 5)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_log_exp_roundtrip(self, values):
+        roundtrip = Tensor(values).log().exp().numpy()
+        np.testing.assert_allclose(roundtrip, values, rtol=1e-9)

@@ -1,0 +1,93 @@
+"""Tests of the JOB-light-style workload (Section 4.5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.predicates import Operator
+from repro.workload.generator import split_by_joins
+from repro.workload.job_light import (
+    JOB_LIGHT_JOIN_DISTRIBUTION,
+    JobLightConfig,
+    generate_job_light,
+)
+
+
+@pytest.fixture(scope="module")
+def small_job_light(tiny_database):
+    config = JobLightConfig(join_distribution=((1, 2), (2, 6), (3, 4), (4, 2)), seed=5)
+    return generate_job_light(tiny_database, config)
+
+
+class TestStructure:
+    def test_default_distribution_matches_table1(self):
+        assert JOB_LIGHT_JOIN_DISTRIBUTION == {1: 3, 2: 32, 3: 23, 4: 12}
+        assert JobLightConfig().total_queries == 70
+
+    def test_requested_join_distribution(self, small_job_light):
+        grouped = split_by_joins(small_job_light)
+        assert {count: len(queries) for count, queries in grouped.items()} == {
+            1: 2,
+            2: 6,
+            3: 4,
+            4: 2,
+        }
+
+    def test_every_query_joins_title_with_fact_tables(self, small_job_light):
+        for labelled in small_job_light:
+            assert "title" in labelled.query.tables
+            assert all(
+                join.canonical.count("title.id") == 1 for join in labelled.query.joins
+            )
+
+    def test_fact_predicates_are_equalities(self, small_job_light):
+        for labelled in small_job_light:
+            for predicate in labelled.query.predicates:
+                if predicate.table != "title":
+                    assert predicate.operator is Operator.EQ
+
+    def test_title_range_predicate_only_on_production_year(self, small_job_light):
+        for labelled in small_job_light:
+            for predicate in labelled.query.predicates_on("title"):
+                if predicate.operator is not Operator.EQ:
+                    assert predicate.column == "production_year"
+
+    def test_results_are_non_empty(self, small_job_light):
+        assert all(labelled.cardinality > 0 for labelled in small_job_light)
+
+    def test_queries_are_unique(self, small_job_light):
+        signatures = {labelled.query.signature() for labelled in small_job_light}
+        assert len(signatures) == len(small_job_light)
+
+
+class TestClosedRanges:
+    def test_closed_ranges_present_when_probability_is_one(self, tiny_database):
+        config = JobLightConfig(
+            join_distribution=((2, 5),), closed_range_probability=1.0, seed=9
+        )
+        workload = generate_job_light(tiny_database, config)
+        for labelled in workload:
+            operators = [
+                predicate.operator
+                for predicate in labelled.query.predicates_on("title")
+                if predicate.column == "production_year"
+            ]
+            assert Operator.GT in operators and Operator.LT in operators
+
+    def test_open_ranges_when_probability_is_zero(self, tiny_database):
+        config = JobLightConfig(
+            join_distribution=((2, 5),), closed_range_probability=0.0, seed=9
+        )
+        workload = generate_job_light(tiny_database, config)
+        for labelled in workload:
+            year_predicates = [
+                predicate
+                for predicate in labelled.query.predicates_on("title")
+                if predicate.column == "production_year"
+            ]
+            assert len(year_predicates) == 1
+
+    def test_rejects_impossible_join_count(self, tiny_database):
+        config = JobLightConfig(join_distribution=((6, 1),))
+        with pytest.raises(ValueError):
+            generate_job_light(tiny_database, config)

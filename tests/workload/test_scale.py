@@ -1,0 +1,45 @@
+"""Tests of the scale workload (0-4 joins, Section 4.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.generator import split_by_joins
+from repro.workload.scale import ScaleWorkloadConfig, generate_scale_workload
+
+
+class TestConfig:
+    def test_rejects_non_positive_stratum(self):
+        with pytest.raises(ValueError):
+            ScaleWorkloadConfig(queries_per_join_count=0)
+
+    def test_rejects_negative_max_joins(self):
+        with pytest.raises(ValueError):
+            ScaleWorkloadConfig(max_joins=-1)
+
+
+class TestScaleWorkload:
+    def test_equal_strata_for_each_join_count(self, tiny_database):
+        config = ScaleWorkloadConfig(queries_per_join_count=8, max_joins=3, seed=2)
+        workload = generate_scale_workload(tiny_database, config)
+        grouped = split_by_joins(workload)
+        assert set(grouped) == {0, 1, 2, 3}
+        assert all(len(queries) == 8 for queries in grouped.values())
+
+    def test_four_join_queries_possible_on_imdb_schema(self, tiny_database):
+        config = ScaleWorkloadConfig(queries_per_join_count=3, max_joins=4, seed=3)
+        workload = generate_scale_workload(tiny_database, config)
+        grouped = split_by_joins(workload)
+        assert 4 in grouped
+        for labelled in grouped[4]:
+            assert len(labelled.query.tables) == 5
+
+    def test_rejects_more_joins_than_schema_supports(self, tiny_database):
+        config = ScaleWorkloadConfig(queries_per_join_count=2, max_joins=9)
+        with pytest.raises(ValueError):
+            generate_scale_workload(tiny_database, config)
+
+    def test_non_empty_cardinalities(self, tiny_database):
+        config = ScaleWorkloadConfig(queries_per_join_count=4, max_joins=2, seed=5)
+        workload = generate_scale_workload(tiny_database, config)
+        assert all(labelled.cardinality > 0 for labelled in workload)
