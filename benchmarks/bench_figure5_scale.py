@@ -31,10 +31,15 @@ def test_figure5_generalization_to_more_joins(context, scale_workload, write_res
     mscn = context.trained_mscn(FeaturizationVariant.BITMAPS)
     estimators = [PostgresEstimator(context.database), mscn]
 
+    hits_before = mscn.samples.bitmap_cache_hits
+
     def run():
         return evaluate_estimators(estimators, scale_workload)
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
+    # MSCN featurizes through the shared bitmap cache; repeated (table,
+    # predicate-set) probes across the scale workload are evaluated once.
+    cache_hits = mscn.samples.bitmap_cache_hits - hits_before
 
     lines = ["95th percentile q-error by join count (paper Figure 5):"]
     per_join_p95 = {}
@@ -52,8 +57,12 @@ def test_figure5_generalization_to_more_joins(context, scale_workload, write_res
         + "\n".join(lines)
         + "\n\n"
         + format_join_breakdown(results, title="Signed error ratio percentiles by join count")
+        + "\n\n"
+        + f"bitmap cache: {cache_hits} probe hits while featurizing the scale workload "
+        + f"({mscn.samples.bitmap_cache_size} distinct probes cached)"
     )
     write_result("figure5_scale_generalization", report)
+    assert cache_hits > 0
 
     # Shape checks: the model was trained on 0-2 joins, so the error on the
     # unseen 3-4-join strata is clearly worse than on base-table queries

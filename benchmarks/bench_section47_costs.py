@@ -9,8 +9,12 @@ the reproduction at its (smaller) experiment scale.
 
 from __future__ import annotations
 
+import time
+
+import numpy as np
 import pytest
 
+from repro.core.batching import collate
 from repro.core.config import FeaturizationVariant
 
 VARIANTS = (
@@ -20,10 +24,20 @@ VARIANTS = (
 )
 
 
+def _best_of(function, repeats: int = 3) -> float:
+    """Best wall-clock seconds of ``repeats`` runs (insulates against noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
 def test_section47_model_costs(context, write_result, benchmark):
     lines = [
         f"{'variant':<24} {'parameters':>12} {'size (KiB)':>12} "
-        f"{'train (s)':>10} {'ms / query':>12}"
+        f"{'train (s)':>10} {'ms / query':>12} {'cache hits':>11}"
     ]
     timings = {}
     for variant in VARIANTS:
@@ -35,7 +49,8 @@ def test_section47_model_costs(context, write_result, benchmark):
             f"{estimator.name:<24} {estimator.model_num_parameters():>12,d} "
             f"{estimator.model_num_bytes() / 1024:>12.1f} "
             f"{estimator.training_result.training_seconds:>10.1f} "
-            f"{timing.milliseconds_per_query:>12.3f}"
+            f"{timing.milliseconds_per_query:>12.3f} "
+            f"{timing.bitmap_cache_hits:>11,d}"
         )
     report = "\n".join(lines)
     write_result("section47_model_costs", report)
@@ -50,6 +65,64 @@ def test_section47_model_costs(context, write_result, benchmark):
     mscn = context.trained_mscn(FeaturizationVariant.BITMAPS)
     queries = [labelled.query for labelled in context.synthetic_workload[:200]]
     benchmark(lambda: mscn.estimate_many(queries))
+
+
+def test_section47_featurization_throughput(context, write_result):
+    """Featurization+collate throughput: legacy per-query path vs the
+    vectorized workload path (the tentpole refactor's headline number)."""
+    estimator = context.trained_mscn(FeaturizationVariant.BITMAPS)
+    featurizer = estimator.featurizer
+    queries = [labelled.query for labelled in context.synthetic_workload]
+
+    # Warm the shared bitmap cache so both paths measure tensor construction
+    # (the steady-state serving regime), not first-touch predicate evaluation.
+    reference = context.featurized_workload(FeaturizationVariant.BITMAPS)
+    legacy_seconds = _best_of(lambda: collate(featurizer.featurize_many(queries)))
+    vectorized_seconds = _best_of(lambda: featurizer.featurize_batch(queries))
+    speedup = legacy_seconds / vectorized_seconds
+
+    legacy_batch = collate(featurizer.featurize_many(queries))
+    for attribute in (
+        "table_features", "table_mask", "join_features",
+        "join_mask", "predicate_features", "predicate_mask",
+    ):
+        np.testing.assert_array_equal(
+            getattr(legacy_batch, attribute), getattr(reference, attribute)
+        )
+
+    report = "\n".join(
+        [
+            f"featurize+collate, {len(queries)} queries (bitmaps variant, warm cache):",
+            f"  legacy per-query path : {legacy_seconds * 1000:>8.1f} ms "
+            f"({len(queries) / legacy_seconds:>10.0f} queries/s)",
+            f"  vectorized path       : {vectorized_seconds * 1000:>8.1f} ms "
+            f"({len(queries) / vectorized_seconds:>10.0f} queries/s)",
+            f"  speedup               : {speedup:>8.1f}x",
+        ]
+    )
+    write_result("section47_featurization_throughput", report)
+    assert speedup >= 3.0
+
+
+def test_section47_serving_cache_reuse(context, write_result):
+    """Repeated serving traffic: the second identical batch of estimates
+    probes no sample bitmaps at all."""
+    estimator = context.trained_mscn(FeaturizationVariant.BITMAPS)
+    queries = [labelled.query for labelled in context.synthetic_workload[:400]]
+    _, first = estimator.timed_estimate_many(queries)
+    _, second = estimator.timed_estimate_many(queries)
+    num_probes = sum(len(query.tables) for query in queries)
+    report = "\n".join(
+        [
+            f"repeated estimate_many over {len(queries)} queries ({num_probes} bitmap probes):",
+            f"  first call : featurization {first.featurization_seconds * 1000:>7.1f} ms, "
+            f"{first.bitmap_cache_hits}/{num_probes} cache hits",
+            f"  second call: featurization {second.featurization_seconds * 1000:>7.1f} ms, "
+            f"{second.bitmap_cache_hits}/{num_probes} cache hits",
+        ]
+    )
+    write_result("section47_serving_cache_reuse", report)
+    assert second.bitmap_cache_hits == num_probes
 
 
 def test_section47_serialization_roundtrip_cost(context, tmp_path_factory, benchmark):

@@ -17,6 +17,7 @@ The sub-modules follow the pipeline of Section 3:
 * :mod:`repro.core.estimator` — the public :class:`MSCNEstimator` façade.
 """
 
+from repro.core.batching import Batch, FeaturizedDataset
 from repro.core.config import FeaturizationVariant, MSCNConfig
 from repro.core.ensemble import EnsembleEstimate, EnsembleMSCNEstimator
 from repro.core.estimator import MSCNEstimator
@@ -32,6 +33,8 @@ __all__ = [
     "EnsembleEstimate",
     "QueryFeaturizer",
     "FeaturizedQuery",
+    "Batch",
+    "FeaturizedDataset",
     "MSCN",
     "MSCNTrainer",
     "TrainingResult",

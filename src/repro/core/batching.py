@@ -6,6 +6,14 @@ mini-batch have the same number of set elements.  We mask out dummy set
 elements in the averaging operation."  :class:`Batch` holds the padded
 feature tensors and the corresponding binary masks; :func:`collate` builds a
 batch from featurized queries.
+
+:class:`FeaturizedDataset` is the fast path: the padded tensors of a whole
+workload are built once (either by :func:`collate` over per-query
+featurizations or directly by the vectorized featurizer) and every mini-batch
+thereafter is plain index-slicing into those dense arrays — no per-epoch
+padding work.  The model's masked pooling ignores dummy elements, so padding
+to the dataset-wide maximum set size instead of the per-batch maximum leaves
+predictions unchanged.
 """
 
 from __future__ import annotations
@@ -17,7 +25,7 @@ import numpy as np
 
 from repro.core.featurization import FeaturizedQuery
 
-__all__ = ["Batch", "collate", "iterate_minibatches"]
+__all__ = ["Batch", "FeaturizedDataset", "as_dataset", "collate", "iterate_minibatches"]
 
 
 @dataclass(frozen=True)
@@ -42,6 +50,14 @@ class Batch:
     @property
     def size(self) -> int:
         return self.table_features.shape[0]
+
+
+def _column_vector(values: np.ndarray, expected: int, name: str) -> np.ndarray:
+    """Validate per-query scalars and reshape them to a ``(n, 1)`` column."""
+    values = np.asarray(values, dtype=np.float64).reshape(-1, 1)
+    if values.shape[0] != expected:
+        raise ValueError(f"{name} length does not match batch size")
+    return values
 
 
 def _pad_set(
@@ -77,13 +93,9 @@ def collate(
         [f.predicate_features for f in featurized], predicate_width
     )
     if labels is not None:
-        labels = np.asarray(labels, dtype=np.float64).reshape(-1, 1)
-        if labels.shape[0] != len(featurized):
-            raise ValueError("labels length does not match batch size")
+        labels = _column_vector(labels, len(featurized), "labels")
     if cardinalities is not None:
-        cardinalities = np.asarray(cardinalities, dtype=np.float64).reshape(-1, 1)
-        if cardinalities.shape[0] != len(featurized):
-            raise ValueError("cardinalities length does not match batch size")
+        cardinalities = _column_vector(cardinalities, len(featurized), "cardinalities")
     return Batch(
         table_features=table_features,
         table_mask=table_mask,
@@ -96,17 +108,118 @@ def collate(
     )
 
 
+@dataclass(frozen=True)
+class FeaturizedDataset:
+    """Pre-collated feature tensors of a whole workload.
+
+    Holds the same six padded arrays a :class:`Batch` carries, covering every
+    query of the workload, plus optional per-query ``labels`` and
+    ``cardinalities`` stored as ``(n, 1)`` columns.  Mini-batches are produced
+    by :meth:`batch` — pure array slicing with no padding work.
+    """
+
+    table_features: np.ndarray
+    table_mask: np.ndarray
+    join_features: np.ndarray
+    join_mask: np.ndarray
+    predicate_features: np.ndarray
+    predicate_mask: np.ndarray
+    labels: np.ndarray | None = None
+    cardinalities: np.ndarray | None = None
+
+    @property
+    def size(self) -> int:
+        return self.table_features.shape[0]
+
+    def __len__(self) -> int:
+        return self.size
+
+    @classmethod
+    def from_featurized(
+        cls,
+        featurized: Sequence[FeaturizedQuery],
+        labels: np.ndarray | None = None,
+        cardinalities: np.ndarray | None = None,
+    ) -> "FeaturizedDataset":
+        """Collate per-query featurizations once into a dataset (compat path)."""
+        batch = collate(featurized, labels=labels, cardinalities=cardinalities)
+        return cls.from_batch(batch)
+
+    @classmethod
+    def from_batch(cls, batch: Batch) -> "FeaturizedDataset":
+        """Adopt the padded tensors of an already-collated :class:`Batch`."""
+        return cls(
+            table_features=batch.table_features,
+            table_mask=batch.table_mask,
+            join_features=batch.join_features,
+            join_mask=batch.join_mask,
+            predicate_features=batch.predicate_features,
+            predicate_mask=batch.predicate_mask,
+            labels=batch.labels,
+            cardinalities=batch.cardinalities,
+        )
+
+    def batch(
+        self,
+        indices: np.ndarray | slice | None = None,
+        labels: np.ndarray | None = None,
+        cardinalities: np.ndarray | None = None,
+    ) -> Batch:
+        """A :class:`Batch` of the selected queries (all of them by default).
+
+        ``labels``/``cardinalities`` override the stored columns; they must
+        already be aligned with ``indices`` and are reshaped to ``(n, 1)``
+        columns exactly like :func:`collate` does.
+        """
+        if indices is None:
+            indices = slice(None)
+        table_features = self.table_features[indices]
+        size = table_features.shape[0]
+        if labels is not None:
+            labels = _column_vector(labels, size, "labels")
+        elif self.labels is not None:
+            labels = self.labels[indices]
+        if cardinalities is not None:
+            cardinalities = _column_vector(cardinalities, size, "cardinalities")
+        elif self.cardinalities is not None:
+            cardinalities = self.cardinalities[indices]
+        return Batch(
+            table_features=table_features,
+            table_mask=self.table_mask[indices],
+            join_features=self.join_features[indices],
+            join_mask=self.join_mask[indices],
+            predicate_features=self.predicate_features[indices],
+            predicate_mask=self.predicate_mask[indices],
+            labels=labels,
+            cardinalities=cardinalities,
+        )
+
+
+def as_dataset(
+    features: "FeaturizedDataset | Sequence[FeaturizedQuery]",
+) -> FeaturizedDataset:
+    """Coerce either input style of the training/prediction APIs to a dataset."""
+    if isinstance(features, FeaturizedDataset):
+        return features
+    return FeaturizedDataset.from_featurized(list(features))
+
+
 def iterate_minibatches(
-    featurized: Sequence[FeaturizedQuery],
+    featurized: FeaturizedDataset | Sequence[FeaturizedQuery],
     labels: np.ndarray,
     cardinalities: np.ndarray,
     batch_size: int,
     rng: np.random.Generator | None = None,
 ) -> Iterator[Batch]:
-    """Yield shuffled mini-batches for one training epoch."""
+    """Yield shuffled mini-batches for one training epoch.
+
+    A :class:`FeaturizedDataset` is sliced directly (the fast path); a
+    sequence of :class:`FeaturizedQuery` falls back to per-batch collation.
+    """
     if batch_size <= 0:
         raise ValueError("batch_size must be positive")
-    count = len(featurized)
+    is_dataset = isinstance(featurized, FeaturizedDataset)
+    count = featurized.size if is_dataset else len(featurized)
     order = np.arange(count)
     if rng is not None:
         rng.shuffle(order)
@@ -114,8 +227,15 @@ def iterate_minibatches(
     cardinalities = np.asarray(cardinalities, dtype=np.float64)
     for start in range(0, count, batch_size):
         indices = order[start : start + batch_size]
-        yield collate(
-            [featurized[i] for i in indices],
-            labels=labels[indices],
-            cardinalities=cardinalities[indices],
-        )
+        if is_dataset:
+            yield featurized.batch(
+                indices,
+                labels=labels[indices],
+                cardinalities=cardinalities[indices],
+            )
+        else:
+            yield collate(
+                [featurized[i] for i in indices],
+                labels=labels[indices],
+                cardinalities=cardinalities[indices],
+            )

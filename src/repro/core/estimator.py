@@ -24,7 +24,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.batching import collate
 from repro.core.config import FeaturizationVariant, LossKind, MSCNConfig
 from repro.core.encoding import SchemaEncoding
 from repro.core.featurization import QueryFeaturizer
@@ -35,7 +34,6 @@ from repro.db.query import Query
 from repro.db.sampling import MaterializedSamples
 from repro.db.table import Database
 from repro.nn.serialization import load_state_dict, save_state_dict, state_dict_num_bytes
-from repro.nn.tensor import no_grad
 from repro.utils.rng import spawn_rng
 from repro.workload.generator import LabelledQuery
 
@@ -44,11 +42,17 @@ __all__ = ["MSCNEstimator", "PredictionTiming"]
 
 @dataclass(frozen=True)
 class PredictionTiming:
-    """Latency breakdown of a batch of estimates (Section 4.7)."""
+    """Latency breakdown of a batch of estimates (Section 4.7).
+
+    ``bitmap_cache_hits`` counts sample-bitmap probes served from the shared
+    bitmap cache during featurization (0 for the ``no_samples`` variant);
+    repeated serving traffic with overlapping predicate sets drives it up.
+    """
 
     num_queries: int
     featurization_seconds: float
     inference_seconds: float
+    bitmap_cache_hits: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -126,20 +130,23 @@ class MSCNEstimator:
         )
         self._trainer = MSCNTrainer(self._model, self._normalizer, self.config)
 
-        train_features = self.featurizer.featurize_many([q.query for q in training_queries])
-        validation_features = None
+        train_dataset = self.featurizer.featurize_dataset(
+            [q.query for q in training_queries], cardinalities=train_cardinalities
+        )
+        validation_dataset = None
         validation_cardinalities = None
         if validation_queries:
-            validation_features = self.featurizer.featurize_many(
-                [q.query for q in validation_queries]
-            )
             validation_cardinalities = np.array(
                 [q.cardinality for q in validation_queries], dtype=np.float64
             )
+            validation_dataset = self.featurizer.featurize_dataset(
+                [q.query for q in validation_queries],
+                cardinalities=validation_cardinalities,
+            )
         self.training_result = self._trainer.train(
-            train_features,
+            train_dataset,
             train_cardinalities,
-            validation_features,
+            validation_dataset,
             validation_cardinalities,
             epochs=epochs,
         )
@@ -172,34 +179,50 @@ class MSCNEstimator:
         return float(self.estimate_many([query])[0])
 
     def estimate_many(self, queries: list[Query]) -> np.ndarray:
-        """Estimated cardinalities for a list of queries."""
+        """Estimated cardinalities for a list of queries.
+
+        Uses the vectorized featurizer and the shared bitmap cache, so
+        repeated serving calls with overlapping predicate sets re-probe
+        nothing.
+        """
         trainer = self._require_trained()
-        features = self.featurizer.featurize_many(queries)
-        return trainer.predict(features)
+        if not queries:
+            return np.empty(0, dtype=np.float64)
+        dataset = self.featurizer.featurize_dataset(queries)
+        return trainer.predict(dataset)
 
     def timed_estimate_many(self, queries: list[Query]) -> tuple[np.ndarray, PredictionTiming]:
         """Estimates plus a featurization/inference latency breakdown."""
         trainer = self._require_trained()
+        hits_before = self.samples.bitmap_cache_hits if self.samples is not None else 0
         start = time.perf_counter()
-        features = self.featurizer.featurize_many(queries)
+        dataset = self.featurizer.featurize_dataset(queries) if queries else None
         featurization_seconds = time.perf_counter() - start
+        hits_after = self.samples.bitmap_cache_hits if self.samples is not None else 0
         start = time.perf_counter()
-        estimates = trainer.predict(features)
+        estimates = (
+            trainer.predict(dataset) if dataset is not None else np.empty(0, dtype=np.float64)
+        )
         inference_seconds = time.perf_counter() - start
         timing = PredictionTiming(
             num_queries=len(queries),
             featurization_seconds=featurization_seconds,
             inference_seconds=inference_seconds,
+            bitmap_cache_hits=hits_after - hits_before,
         )
         return estimates, timing
 
     def predict_normalized(self, queries: list[Query]) -> np.ndarray:
-        """Raw sigmoid outputs in [0, 1] (mostly useful for tests)."""
-        self._require_trained()
-        features = self.featurizer.featurize_many(queries)
-        batch = collate(features)
-        with no_grad():
-            return self._model.forward_batch(batch).numpy().reshape(-1)
+        """Raw sigmoid outputs in [0, 1] (mostly useful for tests).
+
+        Inference runs in ``config.batch_size`` chunks, so arbitrarily long
+        query lists never form one unbounded batch.
+        """
+        trainer = self._require_trained()
+        if not queries:
+            return np.empty(0, dtype=np.float64)
+        dataset = self.featurizer.featurize_dataset(queries)
+        return trainer.predict_normalized(dataset)
 
     # ------------------------------------------------------------------
     # Introspection and persistence

@@ -13,11 +13,23 @@ becomes three sets of fixed-width vectors:
 Queries without joins or without predicates simply have empty join/predicate
 sets; the batching layer pads them and the model's masked average ignores the
 padding.
+
+Two featurization paths produce bit-identical tensors:
+
+* the legacy per-query path (:meth:`QueryFeaturizer.featurize` +
+  ``batching.collate``), which concatenates one-hot vectors element by
+  element, and
+* the vectorized workload path (:meth:`QueryFeaturizer.featurize_batch` /
+  :meth:`QueryFeaturizer.featurize_dataset`), which writes the padded
+  ``(batch, max set size, width)`` tensors in a handful of fancy-indexed
+  assignments against precomputed one-hot lookup tables and probes sample
+  bitmaps in one deduplicated, memoized batch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -27,7 +39,45 @@ from repro.core.normalization import ValueNormalizer
 from repro.db.query import Query
 from repro.db.sampling import MaterializedSamples
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle, type hints only
+    from repro.core.batching import Batch, FeaturizedDataset
+
 __all__ = ["FeaturizedQuery", "QueryFeaturizer"]
+
+
+class _FeatureLookups:
+    """Precomputed lookup tables for the vectorized featurization path.
+
+    One row per vocabulary entry; featurizing a workload then reduces to
+    gathering integer ids and fancy-indexing into these tables.
+    """
+
+    def __init__(self, featurizer: "QueryFeaturizer"):
+        encoding = featurizer.encoding
+        self.table_eye = np.eye(encoding.num_tables, dtype=np.float64)
+        # Join rows carry the zero-padding up to the (possibly widened)
+        # join feature width, so one gather produces finished vectors.
+        self.join_rows = np.zeros(
+            (encoding.num_joins, featurizer.join_feature_width), dtype=np.float64
+        )
+        self.join_rows[:, : encoding.num_joins] = np.eye(encoding.num_joins)
+        self.column_eye = np.eye(encoding.num_columns, dtype=np.float64)
+        self.operator_eye = np.eye(encoding.num_operators, dtype=np.float64)
+        # Per-column bounds, indexed by column id, for vectorized literal
+        # normalization.  Degenerate columns (max <= min) normalize to 0.0;
+        # their span is set to 1.0 only to keep the division well-defined.
+        num_columns = encoding.num_columns
+        self.column_min = np.zeros(num_columns, dtype=np.float64)
+        self.column_span = np.ones(num_columns, dtype=np.float64)
+        self.column_degenerate = np.zeros(num_columns, dtype=bool)
+        for key, column_id in encoding.column_index.items():
+            table, column = key.split(".", 1)
+            minimum, maximum = featurizer.value_normalizer.bounds(table, column)
+            self.column_min[column_id] = minimum
+            if maximum <= minimum:
+                self.column_degenerate[column_id] = True
+            else:
+                self.column_span[column_id] = maximum - minimum
 
 
 @dataclass(frozen=True)
@@ -85,6 +135,7 @@ class QueryFeaturizer:
         self.value_normalizer = value_normalizer
         self.samples = samples
         self.variant = variant
+        self._lookups: _FeatureLookups | None = None
 
     # -- feature widths --------------------------------------------------
     @property
@@ -155,3 +206,179 @@ class QueryFeaturizer:
             predicate.table, predicate.column, predicate.value
         )
         return np.concatenate((column_one_hot, operator_one_hot, [normalized_value]))
+
+    # -- vectorized workload featurization -------------------------------
+    def lookups(self) -> _FeatureLookups:
+        """The (lazily built) one-hot lookup tables of the vectorized path."""
+        if self._lookups is None:
+            self._lookups = _FeatureLookups(self)
+        return self._lookups
+
+    def featurize_batch(
+        self,
+        queries: Sequence[Query],
+        labels: np.ndarray | None = None,
+        cardinalities: np.ndarray | None = None,
+    ) -> "Batch":
+        """Featurize and pad a list of queries into one :class:`Batch`.
+
+        Bit-identical to ``collate(self.featurize_many(queries))`` but built
+        directly as dense tensors: one pass over the queries gathers integer
+        vocabulary ids, the one-hot blocks are written by fancy indexing into
+        the precomputed lookup tables, and sample bitmaps are probed through
+        the deduplicating cache in :class:`~repro.db.sampling.MaterializedSamples`.
+        """
+        from repro.core.batching import Batch, _column_vector
+
+        if not queries:
+            raise ValueError("cannot featurize an empty batch")
+        arrays = self._vectorized_arrays(queries)
+        if labels is not None:
+            labels = _column_vector(labels, len(queries), "labels")
+        if cardinalities is not None:
+            cardinalities = _column_vector(cardinalities, len(queries), "cardinalities")
+        return Batch(*arrays, labels=labels, cardinalities=cardinalities)
+
+    def featurize_dataset(
+        self,
+        queries: Sequence[Query],
+        cardinalities: np.ndarray | None = None,
+        labels: np.ndarray | None = None,
+    ) -> "FeaturizedDataset":
+        """Featurize a whole workload into a pre-collated :class:`FeaturizedDataset`."""
+        from repro.core.batching import FeaturizedDataset, _column_vector
+
+        if not queries:
+            raise ValueError("cannot featurize an empty workload")
+        arrays = self._vectorized_arrays(queries)
+        if labels is not None:
+            labels = _column_vector(labels, len(queries), "labels")
+        if cardinalities is not None:
+            cardinalities = _column_vector(cardinalities, len(queries), "cardinalities")
+        return FeaturizedDataset(*arrays, labels=labels, cardinalities=cardinalities)
+
+    def _vectorized_arrays(
+        self, queries: Sequence[Query]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The six padded feature/mask arrays of a workload, built densely."""
+        lookups = self.lookups()
+        encoding = self.encoding
+        num_queries = len(queries)
+
+        # One pass over the Python query objects gathers flat integer ids;
+        # everything afterwards is dense array work.
+        table_query_ids: list[int] = []
+        table_slots: list[int] = []
+        table_ids: list[int] = []
+        sample_probes: list[tuple[str, tuple]] = []
+        join_query_ids: list[int] = []
+        join_slots: list[int] = []
+        join_ids: list[int] = []
+        predicate_query_ids: list[int] = []
+        predicate_slots: list[int] = []
+        column_ids: list[int] = []
+        operator_ids: list[int] = []
+        literal_values: list[float] = []
+
+        needs_samples = self.variant is not FeaturizationVariant.NO_SAMPLES
+        max_tables = max_joins = max_predicates = 1
+        for query_id, query in enumerate(queries):
+            max_tables = max(max_tables, len(query.tables))
+            max_joins = max(max_joins, len(query.joins))
+            max_predicates = max(max_predicates, len(query.predicates))
+            for slot, table in enumerate(query.tables):
+                table_query_ids.append(query_id)
+                table_slots.append(slot)
+                try:
+                    table_ids.append(encoding.table_index[table])
+                except KeyError:
+                    raise KeyError(
+                        f"table {table!r} is not part of the encoded schema"
+                    ) from None
+                if needs_samples:
+                    sample_probes.append((table, query.predicates_on(table)))
+            for slot, join in enumerate(query.joins):
+                join_query_ids.append(query_id)
+                join_slots.append(slot)
+                try:
+                    join_ids.append(encoding.join_index[join.canonical])
+                except KeyError:
+                    raise KeyError(
+                        f"join {join.canonical!r} is not part of the encoded schema"
+                    ) from None
+            for slot, predicate in enumerate(query.predicates):
+                predicate_query_ids.append(query_id)
+                predicate_slots.append(slot)
+                key = f"{predicate.table}.{predicate.column}"
+                try:
+                    column_ids.append(encoding.column_index[key])
+                except KeyError:
+                    raise KeyError(
+                        f"column {key!r} is not a predicable (non-key) column"
+                    ) from None
+                operator_ids.append(encoding.operator_index[predicate.operator.value])
+                literal_values.append(float(predicate.value))
+
+        table_features = np.zeros(
+            (num_queries, max_tables, self.table_feature_width), dtype=np.float64
+        )
+        table_mask = np.zeros((num_queries, max_tables), dtype=np.float64)
+        if table_query_ids:
+            rows = np.asarray(table_query_ids)
+            slots = np.asarray(table_slots)
+            table_mask[rows, slots] = 1.0
+            table_features[rows, slots, : encoding.num_tables] = lookups.table_eye[
+                np.asarray(table_ids)
+            ]
+            if needs_samples:
+                bitmaps = self.samples.bitmaps_many(sample_probes)
+                if self.variant is FeaturizationVariant.NUM_SAMPLES:
+                    fractions = bitmaps.sum(axis=1) / self.samples.sample_size
+                    table_features[rows, slots, encoding.num_tables] = fractions
+                else:  # BITMAPS
+                    table_features[rows, slots, encoding.num_tables :] = bitmaps.astype(
+                        np.float64
+                    )
+
+        join_features = np.zeros(
+            (num_queries, max_joins, self.join_feature_width), dtype=np.float64
+        )
+        join_mask = np.zeros((num_queries, max_joins), dtype=np.float64)
+        if join_query_ids:
+            rows = np.asarray(join_query_ids)
+            slots = np.asarray(join_slots)
+            join_mask[rows, slots] = 1.0
+            join_features[rows, slots] = lookups.join_rows[np.asarray(join_ids)]
+
+        predicate_features = np.zeros(
+            (num_queries, max_predicates, self.predicate_feature_width), dtype=np.float64
+        )
+        predicate_mask = np.zeros((num_queries, max_predicates), dtype=np.float64)
+        if predicate_query_ids:
+            rows = np.asarray(predicate_query_ids)
+            slots = np.asarray(predicate_slots)
+            columns = np.asarray(column_ids)
+            predicate_mask[rows, slots] = 1.0
+            predicate_features[rows, slots, : encoding.num_columns] = lookups.column_eye[
+                columns
+            ]
+            operator_offset = encoding.num_columns
+            predicate_features[
+                rows, slots, operator_offset : operator_offset + encoding.num_operators
+            ] = lookups.operator_eye[np.asarray(operator_ids)]
+            values = np.asarray(literal_values, dtype=np.float64)
+            normalized = (values - lookups.column_min[columns]) / lookups.column_span[
+                columns
+            ]
+            normalized = np.clip(normalized, 0.0, 1.0)
+            normalized[lookups.column_degenerate[columns]] = 0.0
+            predicate_features[rows, slots, -1] = normalized
+
+        return (
+            table_features,
+            table_mask,
+            join_features,
+            join_mask,
+            predicate_features,
+            predicate_mask,
+        )

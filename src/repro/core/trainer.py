@@ -15,7 +15,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.batching import Batch, collate, iterate_minibatches
+from repro.core.batching import Batch, FeaturizedDataset, as_dataset, iterate_minibatches
 from repro.core.config import LossKind, MSCNConfig
 from repro.core.featurization import FeaturizedQuery
 from repro.core.model import MSCN
@@ -86,18 +86,27 @@ class MSCNTrainer:
     # ------------------------------------------------------------------
     def train(
         self,
-        train_features: Sequence[FeaturizedQuery],
+        train_features: FeaturizedDataset | Sequence[FeaturizedQuery],
         train_cardinalities: np.ndarray,
-        validation_features: Sequence[FeaturizedQuery] | None = None,
+        validation_features: FeaturizedDataset | Sequence[FeaturizedQuery] | None = None,
         validation_cardinalities: np.ndarray | None = None,
         epochs: int | None = None,
     ) -> TrainingResult:
         """Train for ``epochs`` passes over the training set.
 
+        Both feature arguments accept a pre-collated
+        :class:`~repro.core.batching.FeaturizedDataset` or a sequence of
+        per-query featurizations; the latter is padded once up front, so no
+        collation happens inside the epoch loop either way.
+
         Validation data is optional; when present, the mean validation q-error
         is recorded after every epoch.
         """
         epochs = epochs if epochs is not None else self.config.epochs
+        train_set = as_dataset(train_features)
+        validation_set = (
+            as_dataset(validation_features) if validation_features is not None else None
+        )
         train_cardinalities = np.asarray(train_cardinalities, dtype=np.float64)
         train_labels = self.normalizer.normalize(train_cardinalities)
         result = TrainingResult(epochs_run=0, training_seconds=0.0)
@@ -107,7 +116,7 @@ class MSCNTrainer:
             epoch_losses: list[float] = []
             shuffle_rng = self._shuffle_rng if self.config.shuffle else None
             for batch in iterate_minibatches(
-                train_features,
+                train_set,
                 train_labels,
                 train_cardinalities,
                 self.config.batch_size,
@@ -121,10 +130,13 @@ class MSCNTrainer:
                 epoch_losses.append(loss.item())
             result.train_loss_history.append(float(np.mean(epoch_losses)))
             result.epochs_run += 1
-            if validation_features is not None and validation_cardinalities is not None:
+            if validation_set is not None and validation_cardinalities is not None:
                 result.validation_q_error_history.append(
-                    self.mean_q_error(validation_features, validation_cardinalities)
+                    self.mean_q_error(validation_set, validation_cardinalities)
                 )
+                # mean_q_error() predicts in eval() mode; later epochs must
+                # train with training-mode behaviour (e.g. active dropout).
+                self.model.train()
         result.training_seconds = time.perf_counter() - start_time
         self.model.eval()
         return result
@@ -132,30 +144,54 @@ class MSCNTrainer:
     # ------------------------------------------------------------------
     # Inference
     # ------------------------------------------------------------------
-    def predict(self, features: Sequence[FeaturizedQuery], batch_size: int | None = None) -> np.ndarray:
-        """Predict cardinalities for featurized queries (denormalized, >= 1)."""
-        if not features:
+    def predict_normalized(
+        self,
+        features: FeaturizedDataset | Sequence[FeaturizedQuery],
+        batch_size: int | None = None,
+    ) -> np.ndarray:
+        """Raw sigmoid outputs in [0, 1], computed in ``batch_size`` chunks."""
+        dataset = self._prediction_dataset(features)
+        if dataset is None:
             return np.empty(0, dtype=np.float64)
         batch_size = batch_size if batch_size is not None else self.config.batch_size
         outputs: list[np.ndarray] = []
         self.model.eval()
         with no_grad():
-            for start in range(0, len(features), batch_size):
-                batch = collate(list(features[start : start + batch_size]))
+            for start in range(0, dataset.size, batch_size):
+                batch = dataset.batch(slice(start, start + batch_size))
                 predictions = self.model.forward_batch(batch)
                 outputs.append(predictions.numpy().reshape(-1))
-        normalized = np.concatenate(outputs)
+        return np.concatenate(outputs)
+
+    def predict(
+        self,
+        features: FeaturizedDataset | Sequence[FeaturizedQuery],
+        batch_size: int | None = None,
+    ) -> np.ndarray:
+        """Predict cardinalities for featurized queries (denormalized, >= 1)."""
+        normalized = self.predict_normalized(features, batch_size=batch_size)
+        if normalized.size == 0:
+            return np.empty(0, dtype=np.float64)
         return self.normalizer.denormalize(normalized)
 
+    @staticmethod
+    def _prediction_dataset(
+        features: FeaturizedDataset | Sequence[FeaturizedQuery],
+    ) -> FeaturizedDataset | None:
+        if isinstance(features, FeaturizedDataset):
+            return features if features.size else None
+        if not features:
+            return None
+        return as_dataset(features)
+
     def mean_q_error(
-        self, features: Sequence[FeaturizedQuery], cardinalities: np.ndarray
+        self,
+        features: FeaturizedDataset | Sequence[FeaturizedQuery],
+        cardinalities: np.ndarray,
     ) -> float:
         """Mean q-error of the current model on a labelled feature set."""
-        from repro.evaluation.metrics import q_error
+        from repro.evaluation.metrics import q_errors
 
         predictions = self.predict(features)
         cardinalities = np.asarray(cardinalities, dtype=np.float64)
-        errors = [
-            q_error(prediction, truth) for prediction, truth in zip(predictions, cardinalities)
-        ]
-        return float(np.mean(errors))
+        return float(q_errors(predictions, cardinalities).mean())

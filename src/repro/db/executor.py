@@ -43,6 +43,10 @@ def _sum_weights_by_key(keys: np.ndarray, weights: np.ndarray) -> tuple[np.ndarr
 
 def _lookup_totals(unique_keys: np.ndarray, totals: np.ndarray, probe_keys: np.ndarray) -> np.ndarray:
     """Per-probe-key totals; keys absent from ``unique_keys`` yield zero."""
+    if len(unique_keys) == 0:
+        # Without the early return the clip below would produce position -1
+        # and index totals from the end.
+        return np.zeros(len(probe_keys), dtype=np.float64)
     positions = np.searchsorted(unique_keys, probe_keys)
     positions = np.clip(positions, 0, len(unique_keys) - 1)
     found = unique_keys[positions] == probe_keys

@@ -8,6 +8,14 @@ power the Random Sampling baseline and seed Index-Based Join Sampling.
 Samples are drawn once per database snapshot (uniformly, without replacement)
 and reused for training, inference and the baselines — mirroring the paper,
 where MSCN and Random Sampling share the same random seed / sample set.
+
+Bitmap probes are memoized: the database snapshot is immutable, so the bitmap
+of a ``(table, predicate set)`` pair never changes.  Every probe — single
+(:meth:`MaterializedSamples.bitmap`) or batched
+(:meth:`MaterializedSamples.bitmaps_many`) — goes through one shared cache,
+keyed by an order-independent predicate signature, so repeated predicate sets
+across a training workload and across repeated serving calls are evaluated
+against the sample tuples exactly once.
 """
 
 from __future__ import annotations
@@ -65,12 +73,29 @@ class MaterializedSamples:
         both reproduces that setup.
     """
 
-    def __init__(self, database: Database, sample_size: int = 1000, seed: int = 0):
+    #: Default bound on the number of memoized bitmaps.  At the paper's
+    #: sample_size of 1000 this caps the cache at ~64 MiB while comfortably
+    #: holding the distinct probes of a 100k-query training workload.
+    DEFAULT_MAX_CACHED_BITMAPS = 65536
+
+    def __init__(
+        self,
+        database: Database,
+        sample_size: int = 1000,
+        seed: int = 0,
+        max_cached_bitmaps: int | None = DEFAULT_MAX_CACHED_BITMAPS,
+    ):
         if sample_size <= 0:
             raise ValueError("sample_size must be positive")
+        if max_cached_bitmaps is not None and max_cached_bitmaps <= 0:
+            raise ValueError("max_cached_bitmaps must be positive or None")
         self.database = database
         self.sample_size = int(sample_size)
         self.seed = seed
+        self.max_cached_bitmaps = max_cached_bitmaps
+        self._bitmap_cache: dict[tuple, np.ndarray] = {}
+        self._bitmap_cache_hits = 0
+        self._bitmap_cache_misses = 0
         rng = np.random.default_rng(seed)
         self._samples: dict[str, TableSample] = {}
         for name in database.table_names:
@@ -112,6 +137,9 @@ class MaterializedSamples:
                 table_rows=table.num_rows,
                 sample_size=sample_size,
             )
+        # The constructor's fresh draw may differ from the recorded rows, so
+        # any bitmaps probed against it would be stale.
+        samples.clear_bitmap_cache()
         return samples
 
     def row_indices_by_table(self) -> dict[str, np.ndarray]:
@@ -125,13 +153,24 @@ class MaterializedSamples:
         except KeyError:
             raise KeyError(f"no sample for table {table!r}") from None
 
-    def bitmap(self, table: str, predicates: Sequence[Predicate]) -> np.ndarray:
-        """Bitmap of qualifying sample positions for ``table`` under ``predicates``.
+    @staticmethod
+    def probe_signature(table: str, predicates: Sequence[Predicate]) -> tuple:
+        """Order-independent cache key of a ``(table, predicate set)`` probe.
 
-        The result always has length ``sample_size``; positions beyond the
-        number of sampled rows are zero.  A table without predicates has all
-        sampled positions set (every sampled tuple qualifies).
+        Predicates on other tables are ignored, mirroring :meth:`bitmap`.
         """
+        return (
+            table,
+            tuple(
+                sorted(
+                    (p.column, p.operator.value, int(p.value))
+                    for p in predicates
+                    if p.table == table
+                )
+            ),
+        )
+
+    def _compute_bitmap(self, table: str, predicates: Sequence[Predicate]) -> np.ndarray:
         sample = self.sample(table)
         base_table: Table = self.database.table(table)
         bitmap = np.zeros(self.sample_size, dtype=bool)
@@ -142,14 +181,86 @@ class MaterializedSamples:
         bitmap[: sample.num_sampled] = qualifying
         return bitmap
 
+    def _cached_bitmap(self, table: str, predicates: Sequence[Predicate]) -> np.ndarray:
+        """The memoized bitmap of one probe (read-only; callers must not mutate).
+
+        The cache is LRU-bounded by ``max_cached_bitmaps`` so long-running
+        serving traffic with an unbounded tail of distinct predicate sets
+        cannot grow it without limit.
+        """
+        key = self.probe_signature(table, predicates)
+        cached = self._bitmap_cache.get(key)
+        if cached is not None:
+            self._bitmap_cache_hits += 1
+            # Re-insert to mark the entry most-recently used (dicts preserve
+            # insertion order; the first key is always the eviction victim).
+            del self._bitmap_cache[key]
+            self._bitmap_cache[key] = cached
+            return cached
+        self._bitmap_cache_misses += 1
+        bitmap = self._compute_bitmap(table, predicates)
+        bitmap.setflags(write=False)
+        if (
+            self.max_cached_bitmaps is not None
+            and len(self._bitmap_cache) >= self.max_cached_bitmaps
+        ):
+            self._bitmap_cache.pop(next(iter(self._bitmap_cache)))
+        self._bitmap_cache[key] = bitmap
+        return bitmap
+
+    def bitmap(self, table: str, predicates: Sequence[Predicate]) -> np.ndarray:
+        """Bitmap of qualifying sample positions for ``table`` under ``predicates``.
+
+        The result always has length ``sample_size``; positions beyond the
+        number of sampled rows are zero.  A table without predicates has all
+        sampled positions set (every sampled tuple qualifies).
+        """
+        return self._cached_bitmap(table, predicates).copy()
+
+    def bitmaps_many(
+        self, probes: Sequence[tuple[str, Sequence[Predicate]]]
+    ) -> np.ndarray:
+        """Bitmaps of many ``(table, predicates)`` probes as one dense array.
+
+        Returns a boolean array of shape ``(len(probes), sample_size)``.
+        Probes sharing a signature — within the batch or with any earlier
+        call — are evaluated once; everything else is a cache hit.
+        """
+        out = np.zeros((len(probes), self.sample_size), dtype=bool)
+        for position, (table, predicates) in enumerate(probes):
+            out[position] = self._cached_bitmap(table, predicates)
+        return out
+
+    # -- cache introspection ------------------------------------------------
+    @property
+    def bitmap_cache_hits(self) -> int:
+        """Number of probes served from the bitmap cache so far."""
+        return self._bitmap_cache_hits
+
+    @property
+    def bitmap_cache_misses(self) -> int:
+        """Number of probes that had to evaluate predicates on the samples."""
+        return self._bitmap_cache_misses
+
+    @property
+    def bitmap_cache_size(self) -> int:
+        """Number of distinct probe signatures currently cached."""
+        return len(self._bitmap_cache)
+
+    def clear_bitmap_cache(self) -> None:
+        """Drop all memoized bitmaps and reset the hit/miss counters."""
+        self._bitmap_cache.clear()
+        self._bitmap_cache_hits = 0
+        self._bitmap_cache_misses = 0
+
     def qualifying_count(self, table: str, predicates: Sequence[Predicate]) -> int:
         """Number of qualifying sample tuples (the paper's ``#samples`` feature)."""
-        return int(self.bitmap(table, predicates).sum())
+        return int(self._cached_bitmap(table, predicates).sum())
 
     def qualifying_rows(self, table: str, predicates: Sequence[Predicate]) -> np.ndarray:
         """Base-table row indices of the qualifying sample tuples."""
         sample = self.sample(table)
-        bitmap = self.bitmap(table, predicates)
+        bitmap = self._cached_bitmap(table, predicates)
         return sample.row_indices[bitmap[: sample.num_sampled]]
 
     # ------------------------------------------------------------------

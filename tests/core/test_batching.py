@@ -91,3 +91,95 @@ class TestMinibatchIteration:
         with pytest.raises(ValueError):
             list(iterate_minibatches([make_featurized(1, 0, 0)], np.array([1.0]),
                                      np.array([1.0]), batch_size=0))
+
+
+class TestFeaturizedDataset:
+    def make_dataset(self):
+        from repro.core.batching import FeaturizedDataset
+
+        featurized = [make_featurized(1, 0, 2), make_featurized(3, 2, 0),
+                      make_featurized(2, 1, 1)]
+        return FeaturizedDataset.from_featurized(
+            featurized,
+            labels=np.array([0.1, 0.2, 0.3]),
+            cardinalities=np.array([10.0, 20.0, 30.0]),
+        ), featurized
+
+    def test_holds_padded_tensors_and_columns(self):
+        dataset, _ = self.make_dataset()
+        assert dataset.size == len(dataset) == 3
+        assert dataset.table_features.shape == (3, 3, 3)
+        assert dataset.labels.shape == (3, 1)
+        assert dataset.cardinalities.shape == (3, 1)
+
+    def test_batch_slices_all_arrays(self):
+        dataset, featurized = self.make_dataset()
+        batch = dataset.batch(np.array([2, 0]))
+        assert batch.size == 2
+        np.testing.assert_array_equal(batch.table_mask, dataset.table_mask[[2, 0]])
+        np.testing.assert_array_equal(batch.labels.reshape(-1), [0.3, 0.1])
+        np.testing.assert_array_equal(batch.cardinalities.reshape(-1), [30.0, 10.0])
+
+    def test_batch_without_indices_returns_everything(self):
+        dataset, _ = self.make_dataset()
+        batch = dataset.batch()
+        assert batch.size == 3
+
+    def test_explicit_labels_override_stored_columns(self):
+        dataset, _ = self.make_dataset()
+        batch = dataset.batch(slice(0, 2), labels=np.array([[9.0], [8.0]]))
+        np.testing.assert_array_equal(batch.labels.reshape(-1), [9.0, 8.0])
+
+    def test_mismatched_override_length_raises(self):
+        dataset, _ = self.make_dataset()
+        with pytest.raises(ValueError):
+            dataset.batch(slice(0, 2), labels=np.array([[9.0]]))
+
+    def test_minibatch_iteration_slices_without_collate(self, monkeypatch):
+        """The dataset fast path never re-pads: collate must not run."""
+        import repro.core.batching as batching
+
+        dataset, _ = self.make_dataset()
+
+        def fail(*args, **kwargs):  # pragma: no cover - assertion helper
+            raise AssertionError("collate() must not be called for a FeaturizedDataset")
+
+        monkeypatch.setattr(batching, "collate", fail)
+        batches = list(
+            batching.iterate_minibatches(
+                dataset,
+                labels=np.array([0.1, 0.2, 0.3]),
+                cardinalities=np.array([10.0, 20.0, 30.0]),
+                batch_size=2,
+            )
+        )
+        assert [b.size for b in batches] == [2, 1]
+        np.testing.assert_array_equal(batches[0].labels.reshape(-1), [0.1, 0.2])
+
+    def test_minibatch_iteration_matches_legacy_path(self):
+        from repro.core.batching import iterate_minibatches
+
+        dataset, featurized = self.make_dataset()
+        labels = np.array([0.1, 0.2, 0.3])
+        cards = np.array([10.0, 20.0, 30.0])
+        rng_a = np.random.default_rng(5)
+        rng_b = np.random.default_rng(5)
+        fast = list(iterate_minibatches(dataset, labels, cards, 2, rng=rng_a))
+        legacy = list(iterate_minibatches(featurized, labels, cards, 2, rng=rng_b))
+        assert len(fast) == len(legacy)
+        for fast_batch, legacy_batch in zip(fast, legacy):
+            np.testing.assert_array_equal(fast_batch.labels, legacy_batch.labels)
+            max_tables = legacy_batch.table_features.shape[1]
+            np.testing.assert_array_equal(
+                fast_batch.table_features[:, :max_tables], legacy_batch.table_features
+            )
+            assert fast_batch.table_mask[:, max_tables:].sum() == 0
+
+    def test_one_dimensional_overrides_are_reshaped_to_columns(self):
+        """Regression: 1-D overrides (the shape collate() accepts) must come
+        back as (n, 1) columns, not silently broadcast-hostile 1-D arrays."""
+        dataset, _ = self.make_dataset()
+        batch = dataset.batch(slice(0, 2), labels=np.array([0.5, 0.25]),
+                              cardinalities=np.array([5.0, 6.0]))
+        assert batch.labels.shape == (2, 1)
+        assert batch.cardinalities.shape == (2, 1)

@@ -119,3 +119,49 @@ class TestIntrospectionAndPersistence:
         estimator = MSCNEstimator(tiny_database, small_config, samples=tiny_samples)
         with pytest.raises(RuntimeError):
             estimator.save(tmp_path / "nope")
+
+
+class TestVectorizedServingPath:
+    def test_predict_normalized_chunks_by_batch_size(self, trained_estimator, tiny_workload,
+                                                     small_config):
+        """More queries than config.batch_size must not form one giant batch
+        (regression: the whole list used to be collated unbounded)."""
+        queries = [labelled.query for labelled in tiny_workload]
+        assert len(queries) > small_config.batch_size
+        outputs = trained_estimator.predict_normalized(queries)
+        assert outputs.shape == (len(queries),)
+        assert ((outputs >= 0.0) & (outputs <= 1.0)).all()
+        # Chunked and single-batch inference agree (masked pooling makes the
+        # padding width irrelevant).
+        head = trained_estimator.predict_normalized(queries[: small_config.batch_size])
+        np.testing.assert_allclose(outputs[: small_config.batch_size], head, rtol=1e-12)
+
+    def test_estimate_many_empty_list(self, trained_estimator):
+        assert trained_estimator.estimate_many([]).size == 0
+
+    def test_repeated_serving_calls_hit_the_bitmap_cache(self, trained_estimator,
+                                                         tiny_workload):
+        queries = [labelled.query for labelled in tiny_workload[:25]]
+        _, first = trained_estimator.timed_estimate_many(queries)
+        _, second = trained_estimator.timed_estimate_many(queries)
+        num_probes = sum(len(q.tables) for q in queries)
+        # After the first call every probe of the repeated workload is cached.
+        assert second.bitmap_cache_hits == num_probes
+        assert first.bitmap_cache_hits <= num_probes
+
+    def test_save_load_roundtrip_preserves_bitmap_semantics(self, trained_estimator,
+                                                            tiny_database, tiny_workload,
+                                                            tmp_path):
+        """A restored estimator starts with a cold bitmap cache but produces
+        identical estimates, and its cache warms up across serving calls."""
+        directory = tmp_path / "roundtrip"
+        trained_estimator.save(directory)
+        restored = MSCNEstimator.load(directory, tiny_database)
+        assert restored.samples.bitmap_cache_size == 0
+        queries = [labelled.query for labelled in tiny_workload[:15]]
+        expected = trained_estimator.estimate_many(queries)
+        _, first = restored.timed_estimate_many(queries)
+        estimates, second = restored.timed_estimate_many(queries)
+        np.testing.assert_allclose(estimates, expected, rtol=1e-9)
+        assert second.bitmap_cache_hits == sum(len(q.tables) for q in queries)
+        assert restored.samples.bitmap_cache_size > 0

@@ -128,3 +128,80 @@ class TestLossVariants:
             trainer._denormalize_tensor(predictions), Tensor(batch.cardinalities)
         )
         assert loss.item() == pytest.approx(expected.item())
+
+
+class TestTrainingModeHandling:
+    def test_validation_does_not_leak_eval_mode_into_later_epochs(self, training_setup):
+        """Regression: per-epoch validation calls predict(), which switches
+        the model to eval(); every epoch after the first must still train in
+        training mode (silent today, wrong once Dropout is used)."""
+        featurizer, features, cardinalities = training_setup
+        config = MSCNConfig(hidden_units=16, epochs=3, batch_size=32, seed=8, num_samples=50)
+        trainer = build_trainer(featurizer, cardinalities, config)
+
+        modes_at_epoch_start: list[bool] = []
+        original_zero_grad = trainer.optimizer.zero_grad
+
+        def recording_zero_grad():
+            modes_at_epoch_start.append(trainer.model.training)
+            return original_zero_grad()
+
+        trainer.optimizer.zero_grad = recording_zero_grad
+        split = int(len(features) * 0.8)
+        trainer.train(
+            features[:split],
+            cardinalities[:split],
+            features[split:],
+            cardinalities[split:],
+        )
+        assert all(modes_at_epoch_start), "an optimizer step ran with the model in eval mode"
+        # After training completes the model is left in eval mode for serving.
+        assert not trainer.model.training
+
+
+class TestDatasetTrainingPath:
+    def test_training_from_dataset_matches_legacy_features(self, training_setup):
+        featurizer, features, cardinalities = training_setup
+        from repro.core.batching import FeaturizedDataset
+
+        config = MSCNConfig(hidden_units=16, epochs=5, batch_size=32, seed=9, num_samples=50)
+        legacy_trainer = build_trainer(featurizer, cardinalities, config)
+        legacy_result = legacy_trainer.train(features[:64], cardinalities[:64])
+
+        dataset = FeaturizedDataset.from_featurized(features[:64])
+        dataset_trainer = build_trainer(featurizer, cardinalities, config)
+        dataset_result = dataset_trainer.train(dataset, cardinalities[:64])
+
+        np.testing.assert_allclose(
+            legacy_result.train_loss_history, dataset_result.train_loss_history, rtol=1e-12
+        )
+        subset = FeaturizedDataset.from_batch(dataset.batch(np.arange(10)))
+        np.testing.assert_allclose(
+            legacy_trainer.predict(features[:10]),
+            dataset_trainer.predict(subset),
+            rtol=1e-12,
+        )
+
+    def test_mean_q_error_matches_scalar_reference(self, training_setup):
+        featurizer, features, cardinalities = training_setup
+        from repro.evaluation.metrics import q_error
+
+        config = MSCNConfig(hidden_units=16, epochs=2, batch_size=32, seed=10, num_samples=50)
+        trainer = build_trainer(featurizer, cardinalities, config)
+        trainer.train(features[:32], cardinalities[:32])
+        predictions = trainer.predict(features[:32])
+        expected = float(
+            np.mean([q_error(p, t) for p, t in zip(predictions, cardinalities[:32])])
+        )
+        assert trainer.mean_q_error(features[:32], cardinalities[:32]) == pytest.approx(
+            expected, rel=1e-12
+        )
+
+    def test_predict_chunks_match_single_batch(self, training_setup):
+        featurizer, features, cardinalities = training_setup
+        config = MSCNConfig(hidden_units=16, epochs=2, batch_size=32, seed=11, num_samples=50)
+        trainer = build_trainer(featurizer, cardinalities, config)
+        trainer.train(features, cardinalities)
+        chunked = trainer.predict(features, batch_size=7)
+        whole = trainer.predict(features, batch_size=len(features))
+        np.testing.assert_allclose(chunked, whole, rtol=1e-12)

@@ -1,0 +1,156 @@
+"""Equivalence tests: the vectorized featurization path is bit-identical to
+the legacy per-query ``featurize`` + ``collate`` path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.batching import FeaturizedDataset, collate
+from repro.core.config import FeaturizationVariant
+from repro.core.encoding import SchemaEncoding
+from repro.core.featurization import QueryFeaturizer
+from repro.core.normalization import ValueNormalizer
+from repro.db.predicates import Operator
+from repro.db.query import JoinCondition, Predicate, Query
+
+TENSOR_ATTRIBUTES = (
+    "table_features",
+    "table_mask",
+    "join_features",
+    "join_mask",
+    "predicate_features",
+    "predicate_mask",
+)
+
+ALL_VARIANTS = tuple(FeaturizationVariant)
+
+
+@pytest.fixture(scope="module")
+def featurizer_parts(tiny_database, tiny_samples):
+    encoding = SchemaEncoding.from_schema(tiny_database.schema)
+    value_normalizer = ValueNormalizer.from_database(tiny_database)
+    return encoding, value_normalizer, tiny_samples
+
+
+def make_featurizer(parts, variant):
+    encoding, value_normalizer, samples = parts
+    return QueryFeaturizer(encoding, value_normalizer, samples=samples, variant=variant)
+
+
+def assert_tensors_identical(legacy, vectorized):
+    for attribute in TENSOR_ATTRIBUTES:
+        expected = getattr(legacy, attribute)
+        actual = getattr(vectorized, attribute)
+        assert expected.shape == actual.shape, attribute
+        assert expected.dtype == actual.dtype, attribute
+        np.testing.assert_array_equal(expected, actual, err_msg=attribute)
+
+
+class TestBatchEquivalence:
+    @pytest.mark.parametrize("variant", ALL_VARIANTS)
+    def test_workload_batch_is_bit_identical(
+        self, featurizer_parts, tiny_workload, variant
+    ):
+        featurizer = make_featurizer(featurizer_parts, variant)
+        queries = [labelled.query for labelled in tiny_workload]
+        legacy = collate(featurizer.featurize_many(queries))
+        vectorized = featurizer.featurize_batch(queries)
+        assert_tensors_identical(legacy, vectorized)
+
+    @pytest.mark.parametrize("variant", ALL_VARIANTS)
+    def test_single_table_query_without_joins_or_predicates(
+        self, featurizer_parts, variant
+    ):
+        featurizer = make_featurizer(featurizer_parts, variant)
+        queries = [Query(tables=("title",))]
+        legacy = collate(featurizer.featurize_many(queries))
+        vectorized = featurizer.featurize_batch(queries)
+        assert_tensors_identical(legacy, vectorized)
+        # Empty join/predicate sets keep the minimum set size of one, all
+        # padding, exactly like the legacy path.
+        assert vectorized.join_mask.sum() == 0
+        assert vectorized.predicate_mask.sum() == 0
+
+    def test_mixed_set_sizes_pad_like_collate(self, featurizer_parts):
+        featurizer = make_featurizer(featurizer_parts, FeaturizationVariant.BITMAPS)
+        queries = [
+            Query(tables=("title",)),
+            Query(
+                tables=("title", "movie_companies"),
+                joins=(JoinCondition("movie_companies", "movie_id", "title", "id"),),
+                predicates=(
+                    Predicate("title", "production_year", Operator.GT, 2000),
+                    Predicate("movie_companies", "company_id", Operator.EQ, 3),
+                ),
+            ),
+        ]
+        legacy = collate(featurizer.featurize_many(queries))
+        vectorized = featurizer.featurize_batch(queries)
+        assert_tensors_identical(legacy, vectorized)
+
+    def test_labels_and_cardinalities_are_column_vectors(
+        self, featurizer_parts, tiny_workload
+    ):
+        featurizer = make_featurizer(featurizer_parts, FeaturizationVariant.NO_SAMPLES)
+        queries = [labelled.query for labelled in tiny_workload[:4]]
+        batch = featurizer.featurize_batch(
+            queries,
+            labels=np.array([0.1, 0.2, 0.3, 0.4]),
+            cardinalities=np.array([1.0, 2.0, 3.0, 4.0]),
+        )
+        assert batch.labels.shape == (4, 1)
+        assert batch.cardinalities.shape == (4, 1)
+
+    def test_empty_batch_raises(self, featurizer_parts):
+        featurizer = make_featurizer(featurizer_parts, FeaturizationVariant.NO_SAMPLES)
+        with pytest.raises(ValueError):
+            featurizer.featurize_batch([])
+        with pytest.raises(ValueError):
+            featurizer.featurize_dataset([])
+
+    def test_unknown_table_raises_schema_error(self, featurizer_parts):
+        featurizer = make_featurizer(featurizer_parts, FeaturizationVariant.NO_SAMPLES)
+        with pytest.raises(KeyError, match="not part of the encoded schema"):
+            featurizer.featurize_batch([Query(tables=("not_a_table",))])
+
+
+class TestDatasetEquivalence:
+    @pytest.mark.parametrize("variant", ALL_VARIANTS)
+    def test_dataset_matches_legacy_collation(
+        self, featurizer_parts, tiny_workload, variant
+    ):
+        featurizer = make_featurizer(featurizer_parts, variant)
+        queries = [labelled.query for labelled in tiny_workload]
+        cardinalities = np.array(
+            [labelled.cardinality for labelled in tiny_workload], dtype=np.float64
+        )
+        legacy = FeaturizedDataset.from_featurized(
+            featurizer.featurize_many(queries), cardinalities=cardinalities
+        )
+        vectorized = featurizer.featurize_dataset(queries, cardinalities=cardinalities)
+        assert_tensors_identical(legacy, vectorized)
+        np.testing.assert_array_equal(legacy.cardinalities, vectorized.cardinalities)
+
+    def test_sliced_batches_match_per_batch_collation_predictions(
+        self, featurizer_parts, tiny_workload
+    ):
+        """Dataset-wide padding leaves the masked model inputs equivalent:
+        slicing the dataset selects exactly the legacy rows, padded with
+        masked-out zero rows only."""
+        featurizer = make_featurizer(featurizer_parts, FeaturizationVariant.BITMAPS)
+        queries = [labelled.query for labelled in tiny_workload[:20]]
+        dataset = featurizer.featurize_dataset(queries)
+        legacy_batch = collate(featurizer.featurize_many(queries[5:10]))
+        sliced = dataset.batch(np.arange(5, 10))
+        max_tables = legacy_batch.table_features.shape[1]
+        max_predicates = legacy_batch.predicate_features.shape[1]
+        np.testing.assert_array_equal(
+            sliced.table_features[:, :max_tables], legacy_batch.table_features
+        )
+        np.testing.assert_array_equal(
+            sliced.predicate_features[:, :max_predicates],
+            legacy_batch.predicate_features,
+        )
+        assert sliced.table_mask[:, max_tables:].sum() == 0
+        assert sliced.predicate_mask[:, max_predicates:].sum() == 0

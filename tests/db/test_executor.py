@@ -208,3 +208,38 @@ class TestCyclicFallback:
         executor = CardinalityExecutor(two_table_database)
         with pytest.raises(ValueError):
             executor.execute(Query(tables=("missing",)))
+
+
+class TestLookupTotals:
+    def test_empty_unique_keys_yield_all_zeros(self):
+        """Regression: with no unique keys, clip(positions, 0, -1) used to
+        index ``totals`` from the end instead of returning zeros."""
+        from repro.db.executor import _lookup_totals
+
+        result = _lookup_totals(
+            np.array([], dtype=np.int64),
+            np.array([], dtype=np.float64),
+            np.array([1, 2, 3], dtype=np.int64),
+        )
+        assert result.dtype == np.float64
+        np.testing.assert_array_equal(result, np.zeros(3))
+
+    def test_empty_probe_keys(self):
+        from repro.db.executor import _lookup_totals
+
+        result = _lookup_totals(
+            np.array([], dtype=np.int64),
+            np.array([], dtype=np.float64),
+            np.array([], dtype=np.int64),
+        )
+        assert result.shape == (0,)
+
+    def test_present_and_absent_keys(self):
+        from repro.db.executor import _lookup_totals
+
+        result = _lookup_totals(
+            np.array([2, 5], dtype=np.int64),
+            np.array([3.0, 7.0]),
+            np.array([1, 2, 5, 9], dtype=np.int64),
+        )
+        np.testing.assert_array_equal(result, [0.0, 3.0, 7.0, 0.0])

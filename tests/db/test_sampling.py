@@ -97,3 +97,99 @@ class TestEstimation:
         samples = MaterializedSamples(tiny_database, sample_size=50, seed=9)
         predicates = [Predicate("title", "production_year", Operator.GT, 99999)]
         assert samples.estimate_base_cardinality("title", predicates) == 0.0
+
+
+class TestBitmapCache:
+    def test_repeated_probes_hit_the_cache(self, two_table_database):
+        samples = MaterializedSamples(two_table_database, sample_size=30, seed=1)
+        predicates = [Predicate("fact", "value", Operator.GT, 6)]
+        first = samples.bitmap("fact", predicates)
+        assert samples.bitmap_cache_misses == 1
+        assert samples.bitmap_cache_hits == 0
+        second = samples.bitmap("fact", predicates)
+        assert samples.bitmap_cache_misses == 1
+        assert samples.bitmap_cache_hits == 1
+        np.testing.assert_array_equal(first, second)
+
+    def test_signature_is_order_independent(self, two_table_database):
+        samples = MaterializedSamples(two_table_database, sample_size=30, seed=1)
+        forward = [
+            Predicate("fact", "value", Operator.GT, 5),
+            Predicate("fact", "dim_id", Operator.LT, 3),
+        ]
+        samples.bitmap("fact", forward)
+        samples.bitmap("fact", list(reversed(forward)))
+        assert samples.bitmap_cache_misses == 1
+        assert samples.bitmap_cache_hits == 1
+
+    def test_returned_bitmap_is_a_private_copy(self, two_table_database):
+        samples = MaterializedSamples(two_table_database, sample_size=30, seed=1)
+        bitmap = samples.bitmap("fact", [])
+        bitmap[:] = False  # mutating the returned array must not poison the cache
+        assert samples.bitmap("fact", []).sum() == 10
+
+    def test_bitmaps_many_matches_single_probes(self, two_table_database):
+        samples = MaterializedSamples(two_table_database, sample_size=30, seed=1)
+        probes = [
+            ("fact", (Predicate("fact", "value", Operator.GT, 6),)),
+            ("dim", (Predicate("dim", "category", Operator.EQ, 10),)),
+            ("fact", (Predicate("fact", "value", Operator.GT, 6),)),
+        ]
+        stacked = samples.bitmaps_many(probes)
+        assert stacked.shape == (3, 30)
+        assert stacked.dtype == bool
+        for row, (table, predicates) in zip(stacked, probes):
+            np.testing.assert_array_equal(row, samples.bitmap(table, predicates))
+        # The duplicate third probe was deduplicated within the batch.
+        assert samples.bitmap_cache_misses == 2
+
+    def test_clear_resets_cache_and_counters(self, two_table_database):
+        samples = MaterializedSamples(two_table_database, sample_size=30, seed=1)
+        samples.bitmap("fact", [])
+        samples.bitmap("fact", [])
+        assert samples.bitmap_cache_size == 1
+        samples.clear_bitmap_cache()
+        assert samples.bitmap_cache_size == 0
+        assert samples.bitmap_cache_hits == 0
+        assert samples.bitmap_cache_misses == 0
+
+    def test_from_row_indices_does_not_reuse_fresh_draw_bitmaps(self, two_table_database):
+        original = MaterializedSamples(two_table_database, sample_size=30, seed=1)
+        restored = MaterializedSamples.from_row_indices(
+            two_table_database,
+            sample_size=30,
+            row_indices=original.row_indices_by_table(),
+            seed=999,
+        )
+        assert restored.bitmap_cache_size == 0
+        np.testing.assert_array_equal(
+            restored.bitmap("fact", []), original.bitmap("fact", [])
+        )
+
+    def test_cache_is_lru_bounded(self, two_table_database):
+        samples = MaterializedSamples(
+            two_table_database, sample_size=30, seed=1, max_cached_bitmaps=2
+        )
+        fact_probe = [Predicate("fact", "value", Operator.GT, 6)]
+        samples.bitmap("fact", [])          # cached: (fact, ())
+        samples.bitmap("fact", fact_probe)  # cached: (fact, ()), (fact, GT 6)
+        samples.bitmap("fact", [])          # touch (fact, ()) -> most recent
+        samples.bitmap("dim", [])           # evicts (fact, GT 6), the LRU entry
+        assert samples.bitmap_cache_size == 2
+        misses = samples.bitmap_cache_misses
+        samples.bitmap("fact", [])          # still cached
+        assert samples.bitmap_cache_misses == misses
+        samples.bitmap("fact", fact_probe)  # was evicted -> recomputed
+        assert samples.bitmap_cache_misses == misses + 1
+
+    def test_unbounded_cache_opt_in(self, two_table_database):
+        samples = MaterializedSamples(
+            two_table_database, sample_size=30, seed=1, max_cached_bitmaps=None
+        )
+        for value in range(20):
+            samples.bitmap("fact", [Predicate("fact", "value", Operator.GT, value)])
+        assert samples.bitmap_cache_size == 20
+
+    def test_invalid_cache_bound_raises(self, two_table_database):
+        with pytest.raises(ValueError):
+            MaterializedSamples(two_table_database, sample_size=30, max_cached_bitmaps=0)
