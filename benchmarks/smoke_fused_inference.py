@@ -1,0 +1,73 @@
+"""CI smoke test of the fused ragged inference path.
+
+Runs the full serving pipeline at a miniature scale in a few seconds: build a
+tiny synthetic database, train an MSCN for a couple of epochs in the default
+float32 serving configuration, answer queries through the fused
+:class:`~repro.core.inference.InferenceEngine`, and cross-check the float64
+ragged path against the padded autograd path bit for bit.
+
+Invoked as a plain script (``PYTHONPATH=src python
+benchmarks/smoke_fused_inference.py``) from CI so the serving hot path is
+executed on every push, not just constructed.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro.core.config import FeaturizationVariant, MSCNConfig
+from repro.core.estimator import MSCNEstimator
+from repro.datasets.imdb import SyntheticIMDbConfig, generate_imdb
+from repro.db.sampling import MaterializedSamples
+from repro.workload.generator import QueryGenerator, WorkloadConfig
+
+
+def main() -> int:
+    database = generate_imdb(
+        SyntheticIMDbConfig(
+            num_titles=2000, num_companies=300, num_persons=3000, num_keywords=800, seed=7
+        )
+    )
+    samples = MaterializedSamples(database, sample_size=50, seed=7)
+    workload = QueryGenerator(
+        database, WorkloadConfig(num_queries=120, max_joins=2, seed=11)
+    ).generate()
+    queries = [labelled.query for labelled in workload]
+
+    base = MSCNConfig(
+        hidden_units=24, epochs=4, batch_size=32, num_samples=50, seed=13
+    )
+    assert base.dtype == "float32" and base.fused_inference, "serving defaults changed"
+
+    # Default float32 fused serving path.
+    estimator = MSCNEstimator(database, base, samples=samples)
+    estimator.fit(workload)
+    start = time.perf_counter()
+    estimates = estimator.estimate_many(queries)
+    elapsed_ms = 1000.0 * (time.perf_counter() - start) / len(queries)
+    assert estimates.shape == (len(queries),)
+    assert np.isfinite(estimates).all() and (estimates >= 1.0).all()
+
+    # Float64 cross-check: fused ragged == legacy padded, bit for bit.
+    estimator64 = MSCNEstimator(
+        database, base.replace(dtype="float64"), samples=samples
+    )
+    estimator64.fit(workload)
+    fused = estimator64.estimate_many(queries)
+    padded = estimator64._trainer.predict(
+        estimator64.featurizer.featurize_dataset(queries), fused=False
+    )
+    np.testing.assert_array_equal(fused, padded)
+
+    print(
+        f"fused inference smoke OK: {len(queries)} queries, "
+        f"{elapsed_ms:.3f} ms/query (float32 fused), float64 ragged == padded"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

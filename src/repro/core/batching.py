@@ -1,4 +1,4 @@
-"""Mini-batch construction: zero-padding variable-sized sets plus masks.
+"""Mini-batch construction: padded batches and ragged (CSR-style) datasets.
 
 Section 3.2 of the paper: "we pad all samples with zero-valued feature
 vectors that act as dummy set elements so that all samples within a
@@ -7,25 +7,47 @@ elements in the averaging operation."  :class:`Batch` holds the padded
 feature tensors and the corresponding binary masks; :func:`collate` builds a
 batch from featurized queries.
 
-:class:`FeaturizedDataset` is the fast path: the padded tensors of a whole
-workload are built once (either by :func:`collate` over per-query
-featurizations or directly by the vectorized featurizer) and every mini-batch
-thereafter is plain index-slicing into those dense arrays — no per-epoch
-padding work.  The model's masked pooling ignores dummy elements, so padding
-to the dataset-wide maximum set size instead of the per-batch maximum leaves
-predictions unchanged.
+Two whole-workload containers avoid per-epoch collation work:
+
+* :class:`FeaturizedDataset` — the *padded* layout: six dense arrays covering
+  every query, mini-batches are plain index slicing.  The per-set reciprocal
+  real-element counts are precomputed once here (and carried on every sliced
+  :class:`Batch`), so the model's masked mean pooling skips the per-forward
+  count reduction; masks reach the pooling primitives as zero-copy
+  ``(batch, set, 1)`` views that hit their pre-validated fast path.
+* :class:`RaggedDataset` — the *ragged* layout: per set, only the real
+  elements, flattened to ``(total_elements, width)`` with per-query CSR
+  offsets.  No padding exists at all, so the per-element MLPs touch exactly
+  the FLOPs the workload requires; pooling is a segment reduction over the
+  offsets.  This is the layout of the fast training and serving paths.
+
+:func:`iterate_ragged_minibatches` optionally orders queries into
+length-homogeneous buckets before batching, so gathered training batches have
+near-uniform row counts per set (better matmul shapes, no pathological
+mixed-size batches) while batch order stays shuffled.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
 import numpy as np
 
 from repro.core.featurization import FeaturizedQuery
 
-__all__ = ["Batch", "FeaturizedDataset", "as_dataset", "collate", "iterate_minibatches"]
+__all__ = [
+    "Batch",
+    "FeaturizedDataset",
+    "RaggedSet",
+    "RaggedDataset",
+    "as_dataset",
+    "as_ragged_dataset",
+    "collate",
+    "iterate_minibatches",
+    "iterate_ragged_minibatches",
+    "offsets_from_lengths",
+]
 
 
 @dataclass(frozen=True)
@@ -36,6 +58,11 @@ class Batch:
     arrays have shape ``(batch, max set size)`` with ones marking real
     elements.  ``labels`` (normalized cardinalities) and ``cardinalities``
     (true result sizes) are optional and only present for training batches.
+
+    The three ``*_inv_counts`` columns are optional precomputed reciprocal
+    real-element counts (``1 / max(#real elements, 1)``, shape ``(batch, 1)``)
+    that let the model skip the per-forward mask reduction; they are filled in
+    when the batch is sliced out of a :class:`FeaturizedDataset`.
     """
 
     table_features: np.ndarray
@@ -46,6 +73,9 @@ class Batch:
     predicate_mask: np.ndarray
     labels: np.ndarray | None = None
     cardinalities: np.ndarray | None = None
+    table_inv_counts: np.ndarray | None = None
+    join_inv_counts: np.ndarray | None = None
+    predicate_inv_counts: np.ndarray | None = None
 
     @property
     def size(self) -> int:
@@ -66,8 +96,10 @@ def _pad_set(
     """Pad a list of (set size, width) arrays into a dense tensor plus mask."""
     batch_size = len(feature_sets)
     max_size = max([fs.shape[0] for fs in feature_sets] + [min_size])
-    features = np.zeros((batch_size, max_size, feature_width), dtype=np.float64)
-    mask = np.zeros((batch_size, max_size), dtype=np.float64)
+    # The padded arrays inherit the featurizer's compute dtype.
+    dtype = np.result_type(*feature_sets) if feature_sets else np.float64
+    features = np.zeros((batch_size, max_size, feature_width), dtype=dtype)
+    mask = np.zeros((batch_size, max_size), dtype=dtype)
     for position, feature_set in enumerate(feature_sets):
         count = feature_set.shape[0]
         if count:
@@ -108,14 +140,234 @@ def collate(
     )
 
 
+def offsets_from_lengths(lengths) -> np.ndarray:
+    """CSR row boundaries (``n + 1`` int64 offsets) from per-segment lengths."""
+    lengths = np.asarray(lengths)
+    offsets = np.zeros(lengths.shape[0] + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    return offsets
+
+
+# ----------------------------------------------------------------------
+# Ragged (CSR-style) layout
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RaggedSet:
+    """One variable-sized set over a workload, stored without padding.
+
+    ``features`` stacks the real elements of every query's set in query order,
+    shape ``(total_elements, feature_width)``; ``offsets`` holds the
+    ``num_queries + 1`` CSR row boundaries (query ``i`` owns rows
+    ``offsets[i]:offsets[i + 1]``).  ``lengths`` and the reciprocal counts
+    used by mean pooling are derived once and cached.
+    """
+
+    features: np.ndarray
+    offsets: np.ndarray
+    lengths: np.ndarray = field(init=False, repr=False)
+    inv_counts: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        offsets = np.ascontiguousarray(self.offsets, dtype=np.int64)
+        if offsets.ndim != 1 or offsets.shape[0] < 1:
+            raise ValueError("offsets must be 1-D with at least one boundary")
+        if self.features.ndim != 2:
+            raise ValueError("ragged features must be 2-D (total_elements, width)")
+        if offsets[-1] != self.features.shape[0]:
+            raise ValueError(
+                f"offsets cover {offsets[-1]} rows but features has "
+                f"{self.features.shape[0]}"
+            )
+        lengths = np.diff(offsets)
+        if (lengths < 0).any():
+            raise ValueError("offsets must be non-decreasing")
+        inv_counts = 1.0 / np.maximum(lengths, 1.0)
+        object.__setattr__(self, "offsets", offsets)
+        object.__setattr__(self, "lengths", lengths)
+        object.__setattr__(
+            self, "inv_counts", inv_counts.astype(self.features.dtype)[:, None]
+        )
+
+    @property
+    def num_segments(self) -> int:
+        return self.lengths.shape[0]
+
+    @property
+    def width(self) -> int:
+        return self.features.shape[1]
+
+    def slice(self, start: int, stop: int) -> "RaggedSet":
+        """A contiguous query range as views into the flat arrays (no copy)."""
+        offsets = self.offsets[start : stop + 1]
+        base = offsets[0]
+        return RaggedSet(
+            features=self.features[base : offsets[-1]], offsets=offsets - base
+        )
+
+    def take(self, indices: np.ndarray) -> "RaggedSet":
+        """Gather an arbitrary selection of queries into a new ragged set."""
+        indices = np.asarray(indices)
+        starts = self.offsets[:-1][indices]
+        lengths = self.lengths[indices]
+        offsets = offsets_from_lengths(lengths)
+        total = int(offsets[-1])
+        # Row gather: for output row r in segment j, source row is
+        # starts[j] + (r - offsets[j]).
+        rows = np.repeat(starts - offsets[:-1], lengths) + np.arange(total)
+        return RaggedSet(features=self.features[rows], offsets=offsets)
+
+
+@dataclass(frozen=True)
+class RaggedDataset:
+    """A whole workload in the ragged layout (tables / joins / predicates).
+
+    Doubles as the mini-batch type of the ragged compute paths: slicing or
+    gathering a ``RaggedDataset`` yields another ``RaggedDataset``.
+    """
+
+    tables: RaggedSet
+    joins: RaggedSet
+    predicates: RaggedSet
+    labels: np.ndarray | None = None
+    cardinalities: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        sizes = {
+            self.tables.num_segments,
+            self.joins.num_segments,
+            self.predicates.num_segments,
+        }
+        if len(sizes) != 1:
+            raise ValueError(f"set segment counts disagree: {sorted(sizes)}")
+
+    @property
+    def size(self) -> int:
+        return self.tables.num_segments
+
+    def __len__(self) -> int:
+        return self.size
+
+    @classmethod
+    def from_featurized(
+        cls,
+        featurized: Sequence[FeaturizedQuery],
+        labels: np.ndarray | None = None,
+        cardinalities: np.ndarray | None = None,
+    ) -> "RaggedDataset":
+        """Stack per-query featurizations into the ragged layout."""
+        if not featurized:
+            raise ValueError("cannot build a ragged dataset from zero queries")
+
+        def stack(arrays: list[np.ndarray]) -> RaggedSet:
+            offsets = offsets_from_lengths([a.shape[0] for a in arrays])
+            return RaggedSet(features=np.concatenate(arrays, axis=0), offsets=offsets)
+
+        if labels is not None:
+            labels = _column_vector(labels, len(featurized), "labels")
+        if cardinalities is not None:
+            cardinalities = _column_vector(cardinalities, len(featurized), "cardinalities")
+        return cls(
+            tables=stack([f.table_features for f in featurized]),
+            joins=stack([f.join_features for f in featurized]),
+            predicates=stack([f.predicate_features for f in featurized]),
+            labels=labels,
+            cardinalities=cardinalities,
+        )
+
+    def slice(self, start: int, stop: int) -> "RaggedDataset":
+        """A contiguous query range (views, no copies)."""
+        start, stop, _ = slice(start, stop).indices(self.size)
+        return RaggedDataset(
+            tables=self.tables.slice(start, stop),
+            joins=self.joins.slice(start, stop),
+            predicates=self.predicates.slice(start, stop),
+            labels=self.labels[start:stop] if self.labels is not None else None,
+            cardinalities=(
+                self.cardinalities[start:stop] if self.cardinalities is not None else None
+            ),
+        )
+
+    def take(
+        self,
+        indices: np.ndarray,
+        labels: np.ndarray | None = None,
+        cardinalities: np.ndarray | None = None,
+    ) -> "RaggedDataset":
+        """Gather an arbitrary selection of queries.
+
+        ``labels``/``cardinalities`` override the stored columns; they must
+        already be aligned with ``indices``.
+        """
+        indices = np.asarray(indices)
+        if labels is not None:
+            labels = _column_vector(labels, indices.shape[0], "labels")
+        elif self.labels is not None:
+            labels = self.labels[indices]
+        if cardinalities is not None:
+            cardinalities = _column_vector(cardinalities, indices.shape[0], "cardinalities")
+        elif self.cardinalities is not None:
+            cardinalities = self.cardinalities[indices]
+        return RaggedDataset(
+            tables=self.tables.take(indices),
+            joins=self.joins.take(indices),
+            predicates=self.predicates.take(indices),
+            labels=labels,
+            cardinalities=cardinalities,
+        )
+
+    @property
+    def total_elements(self) -> np.ndarray:
+        """Per-query total set elements (used for length bucketing)."""
+        return self.tables.lengths + self.joins.lengths + self.predicates.lengths
+
+    def to_padded(self) -> "FeaturizedDataset":
+        """Re-pad into a :class:`FeaturizedDataset` (inverse of ``to_ragged``).
+
+        Used by the legacy padded inference fallback; each set is scattered
+        into ``(n, max length, width)`` with a matching mask.
+        """
+
+        def pad(ragged: RaggedSet) -> tuple[np.ndarray, np.ndarray]:
+            n = ragged.num_segments
+            max_length = max(int(ragged.lengths.max()) if n else 0, 1)
+            dtype = ragged.features.dtype
+            features = np.zeros((n, max_length, ragged.width), dtype=dtype)
+            mask = np.zeros((n, max_length), dtype=dtype)
+            rows = np.repeat(np.arange(n), ragged.lengths)
+            slots = np.arange(ragged.features.shape[0]) - np.repeat(
+                ragged.offsets[:-1], ragged.lengths
+            )
+            features[rows, slots] = ragged.features
+            mask[rows, slots] = 1.0
+            return features, mask
+
+        table_features, table_mask = pad(self.tables)
+        join_features, join_mask = pad(self.joins)
+        predicate_features, predicate_mask = pad(self.predicates)
+        return FeaturizedDataset(
+            table_features=table_features,
+            table_mask=table_mask,
+            join_features=join_features,
+            join_mask=join_mask,
+            predicate_features=predicate_features,
+            predicate_mask=predicate_mask,
+            labels=self.labels,
+            cardinalities=self.cardinalities,
+        )
+
+
 @dataclass(frozen=True)
 class FeaturizedDataset:
-    """Pre-collated feature tensors of a whole workload.
+    """Pre-collated feature tensors of a whole workload (padded layout).
 
     Holds the same six padded arrays a :class:`Batch` carries, covering every
     query of the workload, plus optional per-query ``labels`` and
     ``cardinalities`` stored as ``(n, 1)`` columns.  Mini-batches are produced
     by :meth:`batch` — pure array slicing with no padding work.
+
+    The ``(n, 1)`` reciprocal real-element counts of every set are computed
+    once here and carried on each sliced :class:`Batch`, so every downstream
+    forward pass skips the per-forward mask count reduction.
     """
 
     table_features: np.ndarray
@@ -126,6 +378,15 @@ class FeaturizedDataset:
     predicate_mask: np.ndarray
     labels: np.ndarray | None = None
     cardinalities: np.ndarray | None = None
+    table_inv_counts: np.ndarray = field(init=False, repr=False)
+    join_inv_counts: np.ndarray = field(init=False, repr=False)
+    predicate_inv_counts: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        for name in ("table", "join", "predicate"):
+            mask = getattr(self, f"{name}_mask")
+            counts = np.maximum(mask.sum(axis=1, keepdims=True), 1.0)
+            object.__setattr__(self, f"{name}_inv_counts", 1.0 / counts)
 
     @property
     def size(self) -> int:
@@ -192,6 +453,29 @@ class FeaturizedDataset:
             predicate_mask=self.predicate_mask[indices],
             labels=labels,
             cardinalities=cardinalities,
+            table_inv_counts=self.table_inv_counts[indices],
+            join_inv_counts=self.join_inv_counts[indices],
+            predicate_inv_counts=self.predicate_inv_counts[indices],
+        )
+
+    def to_ragged(self) -> RaggedDataset:
+        """Strip the padding: gather real elements into a :class:`RaggedDataset`.
+
+        Real elements always occupy the leading slots of each padded row, so
+        a boolean-mask gather preserves both query order and slot order.
+        """
+
+        def strip(features: np.ndarray, mask: np.ndarray) -> RaggedSet:
+            real = mask > 0
+            offsets = offsets_from_lengths(real.sum(axis=1))
+            return RaggedSet(features=features[real], offsets=offsets)
+
+        return RaggedDataset(
+            tables=strip(self.table_features, self.table_mask),
+            joins=strip(self.join_features, self.join_mask),
+            predicates=strip(self.predicate_features, self.predicate_mask),
+            labels=self.labels,
+            cardinalities=self.cardinalities,
         )
 
 
@@ -204,6 +488,17 @@ def as_dataset(
     return FeaturizedDataset.from_featurized(list(features))
 
 
+def as_ragged_dataset(
+    features: "RaggedDataset | FeaturizedDataset | Sequence[FeaturizedQuery]",
+) -> RaggedDataset:
+    """Coerce any supported feature container to the ragged layout."""
+    if isinstance(features, RaggedDataset):
+        return features
+    if isinstance(features, FeaturizedDataset):
+        return features.to_ragged()
+    return RaggedDataset.from_featurized(list(features))
+
+
 def iterate_minibatches(
     featurized: FeaturizedDataset | Sequence[FeaturizedQuery],
     labels: np.ndarray,
@@ -211,7 +506,7 @@ def iterate_minibatches(
     batch_size: int,
     rng: np.random.Generator | None = None,
 ) -> Iterator[Batch]:
-    """Yield shuffled mini-batches for one training epoch.
+    """Yield shuffled mini-batches for one training epoch (padded layout).
 
     A :class:`FeaturizedDataset` is sliced directly (the fast path); a
     sequence of :class:`FeaturizedQuery` falls back to per-batch collation.
@@ -239,3 +534,42 @@ def iterate_minibatches(
                 labels=labels[indices],
                 cardinalities=cardinalities[indices],
             )
+
+
+def iterate_ragged_minibatches(
+    dataset: RaggedDataset,
+    labels: np.ndarray,
+    cardinalities: np.ndarray,
+    batch_size: int,
+    rng: np.random.Generator | None = None,
+    bucket_by_length: bool = True,
+) -> Iterator[RaggedDataset]:
+    """Yield mini-batches of a :class:`RaggedDataset` for one training epoch.
+
+    With ``rng`` and ``bucket_by_length``, queries are first shuffled, then
+    stably ordered by their total set-element count and chunked, and finally
+    the chunk order is shuffled: batches are length-homogeneous (uniform
+    gather and matmul shapes) while the epoch still visits batches — and ties
+    within a bucket — in random order.  Without ``rng`` the dataset order is
+    kept as-is.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    count = dataset.size
+    order = np.arange(count)
+    if rng is not None:
+        rng.shuffle(order)
+        if bucket_by_length:
+            order = order[np.argsort(dataset.total_elements[order], kind="stable")]
+    labels = np.asarray(labels, dtype=np.float64)
+    cardinalities = np.asarray(cardinalities, dtype=np.float64)
+    starts = np.arange(0, count, batch_size)
+    if rng is not None and bucket_by_length:
+        rng.shuffle(starts)
+    for start in starts:
+        indices = order[start : start + batch_size]
+        yield dataset.take(
+            indices,
+            labels=labels[indices],
+            cardinalities=cardinalities[indices],
+        )

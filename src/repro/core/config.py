@@ -4,6 +4,13 @@ The default values are the paper's best configuration from the grid search in
 Section 4.6: 100 epochs, batch size 1024, 256 hidden units, learning rate
 0.001, trained with the mean q-error loss, using 1000 materialized samples
 per table and bitmap features.
+
+``dtype`` selects the compute precision of the whole pipeline — featurization
+lookup tables, datasets, model weights, optimizer state and the fused
+inference engine.  The default is ``float32``: serving accuracy is unaffected
+(the model's own approximation error dwarfs single precision) while matmuls
+move half the memory.  Use ``float64`` for bit-exact comparisons against the
+legacy double-precision path.
 """
 
 from __future__ import annotations
@@ -11,7 +18,11 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+import numpy as np
+
 __all__ = ["FeaturizationVariant", "LossKind", "MSCNConfig"]
+
+_SUPPORTED_DTYPES = ("float32", "float64")
 
 
 class FeaturizationVariant(str, enum.Enum):
@@ -52,6 +63,14 @@ class MSCNConfig:
     validation_fraction: float = 0.1
     seed: int = 42
     shuffle: bool = True
+    dtype: str = "float32"
+    fused_inference: bool = True
+    bucket_by_length: bool = True
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        """The numpy dtype all pipeline stages compute in."""
+        return np.dtype(self.dtype)
 
     def __post_init__(self) -> None:
         if self.hidden_units <= 0:
@@ -66,6 +85,12 @@ class MSCNConfig:
             raise ValueError("validation_fraction must be in [0, 1)")
         if self.num_samples <= 0:
             raise ValueError("num_samples must be positive")
+        # Accept numpy dtypes / aliases for convenience, but pin the stored
+        # value to the canonical string so configs stay JSON-serializable.
+        canonical = np.dtype(self.dtype).name
+        if canonical not in _SUPPORTED_DTYPES:
+            raise ValueError(f"dtype must be one of {_SUPPORTED_DTYPES}, got {self.dtype!r}")
+        object.__setattr__(self, "dtype", canonical)
         # Accept plain strings for convenience.
         if not isinstance(self.loss, LossKind):
             object.__setattr__(self, "loss", LossKind(self.loss))

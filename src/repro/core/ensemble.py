@@ -94,20 +94,24 @@ class EnsembleMSCNEstimator(CardinalityEstimator):
 
     def estimate_with_uncertainty(self, query: Query) -> EnsembleEstimate:
         """Ensemble estimate plus the member disagreement for one query."""
-        member_estimates = tuple(float(member.estimate(query)) for member in self.members)
-        geometric_mean = float(np.exp(np.mean(np.log(np.maximum(member_estimates, 1.0)))))
-        return EnsembleEstimate(
-            cardinality=max(geometric_mean, 1.0), member_estimates=member_estimates
-        )
+        return self.estimate_many_with_uncertainty([query])[0]
 
     def estimate(self, query: Query) -> float:
         return self.estimate_with_uncertainty(query).cardinality
 
     def estimate_many_with_uncertainty(self, queries: list[Query]) -> list[EnsembleEstimate]:
-        """Vectorized ensemble estimates (one member forward pass per model)."""
+        """Vectorized ensemble estimates (one member forward pass per model).
+
+        All members share the same samples, encoding and compute dtype, so the
+        workload is featurized once (into the ragged serving layout) and the
+        same dataset feeds every member's fused inference engine.
+        """
         if not queries:
             return []
-        per_member = np.vstack([member.estimate_many(queries) for member in self.members])
+        shared_dataset = self.members[0].serving_dataset(queries)
+        per_member = np.vstack(
+            [member.estimate_featurized(shared_dataset) for member in self.members]
+        )
         geometric_means = np.exp(np.mean(np.log(np.maximum(per_member, 1.0)), axis=0))
         return [
             EnsembleEstimate(

@@ -91,6 +91,7 @@ class MSCNEstimator:
             value_normalizer=self.value_normalizer,
             samples=self.samples,
             variant=self.config.variant,
+            dtype=self.config.np_dtype,
         )
         self._model: MSCN | None = None
         self._trainer: MSCNTrainer | None = None
@@ -127,10 +128,14 @@ class MSCNEstimator:
             predicate_feature_width=self.featurizer.predicate_feature_width,
             hidden_units=self.config.hidden_units,
             rng=spawn_rng(self.config.seed, "model-init"),
+            dtype=self.config.np_dtype,
         )
         self._trainer = MSCNTrainer(self._model, self._normalizer, self.config)
 
-        train_dataset = self.featurizer.featurize_dataset(
+        # Training and validation are featurized straight into the ragged
+        # layout: the trainer's minibatch gathers and the fused validation
+        # predictions never touch padded tensors.
+        train_dataset = self.featurizer.featurize_ragged(
             [q.query for q in training_queries], cardinalities=train_cardinalities
         )
         validation_dataset = None
@@ -139,7 +144,7 @@ class MSCNEstimator:
             validation_cardinalities = np.array(
                 [q.cardinality for q in validation_queries], dtype=np.float64
             )
-            validation_dataset = self.featurizer.featurize_dataset(
+            validation_dataset = self.featurizer.featurize_ragged(
                 [q.query for q in validation_queries],
                 cardinalities=validation_cardinalities,
             )
@@ -178,25 +183,45 @@ class MSCNEstimator:
         """Estimated cardinality of a single query."""
         return float(self.estimate_many([query])[0])
 
+    def serving_dataset(self, queries: list[Query]):
+        """Featurize serving traffic in the layout the inference path wants.
+
+        Public so ensembles (and other fan-out consumers) can featurize a
+        workload once and share the dataset across models; pair with
+        :meth:`estimate_featurized`.
+        """
+        if self.config.fused_inference:
+            return self.featurizer.featurize_ragged(queries)
+        return self.featurizer.featurize_dataset(queries)
+
     def estimate_many(self, queries: list[Query]) -> np.ndarray:
         """Estimated cardinalities for a list of queries.
 
-        Uses the vectorized featurizer and the shared bitmap cache, so
-        repeated serving calls with overlapping predicate sets re-probe
-        nothing.
+        Featurizes directly into the ragged layout (no padded tensors are
+        materialized), reuses the shared bitmap cache, and runs the fused
+        float-``config.dtype`` inference engine — the paper's sub-millisecond
+        serving path.
         """
         trainer = self._require_trained()
         if not queries:
             return np.empty(0, dtype=np.float64)
-        dataset = self.featurizer.featurize_dataset(queries)
-        return trainer.predict(dataset)
+        return trainer.predict(self.serving_dataset(queries))
+
+    def estimate_featurized(self, features) -> np.ndarray:
+        """Estimated cardinalities for already-featurized queries.
+
+        Accepts any feature container (:class:`RaggedDataset`,
+        :class:`FeaturizedDataset` or per-query featurizations); ensembles use
+        this to featurize a workload once and fan it out to every member.
+        """
+        return self._require_trained().predict(features)
 
     def timed_estimate_many(self, queries: list[Query]) -> tuple[np.ndarray, PredictionTiming]:
         """Estimates plus a featurization/inference latency breakdown."""
         trainer = self._require_trained()
         hits_before = self.samples.bitmap_cache_hits if self.samples is not None else 0
         start = time.perf_counter()
-        dataset = self.featurizer.featurize_dataset(queries) if queries else None
+        dataset = self.serving_dataset(queries) if queries else None
         featurization_seconds = time.perf_counter() - start
         hits_after = self.samples.bitmap_cache_hits if self.samples is not None else 0
         start = time.perf_counter()
@@ -221,8 +246,7 @@ class MSCNEstimator:
         trainer = self._require_trained()
         if not queries:
             return np.empty(0, dtype=np.float64)
-        dataset = self.featurizer.featurize_dataset(queries)
-        return trainer.predict_normalized(dataset)
+        return trainer.predict_normalized(self.serving_dataset(queries))
 
     # ------------------------------------------------------------------
     # Introspection and persistence
@@ -260,6 +284,9 @@ class MSCNEstimator:
                 "validation_fraction": self.config.validation_fraction,
                 "seed": self.config.seed,
                 "shuffle": self.config.shuffle,
+                "dtype": self.config.dtype,
+                "fused_inference": self.config.fused_inference,
+                "bucket_by_length": self.config.bucket_by_length,
             },
             "normalizer": {
                 "min_log": self._normalizer.min_log,
@@ -288,6 +315,11 @@ class MSCNEstimator:
             validation_fraction=config_data["validation_fraction"],
             seed=config_data["seed"],
             shuffle=config_data["shuffle"],
+            # Models saved before these knobs existed were float64 with the
+            # padded layout's behaviour.
+            dtype=config_data.get("dtype", "float64"),
+            fused_inference=config_data.get("fused_inference", True),
+            bucket_by_length=config_data.get("bucket_by_length", True),
         )
         samples = None
         if metadata.get("has_samples"):
@@ -309,6 +341,7 @@ class MSCNEstimator:
             predicate_feature_width=estimator.featurizer.predicate_feature_width,
             hidden_units=config.hidden_units,
             rng=spawn_rng(config.seed, "model-init"),
+            dtype=config.np_dtype,
         )
         estimator._model.load_state_dict(load_state_dict(os.path.join(directory, "weights.npz")))
         estimator._trainer = MSCNTrainer(estimator._model, estimator._normalizer, config)

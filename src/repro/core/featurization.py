@@ -14,16 +14,24 @@ Queries without joins or without predicates simply have empty join/predicate
 sets; the batching layer pads them and the model's masked average ignores the
 padding.
 
-Two featurization paths produce bit-identical tensors:
+Three featurization paths share one id-gathering pass and produce consistent
+tensors:
 
 * the legacy per-query path (:meth:`QueryFeaturizer.featurize` +
   ``batching.collate``), which concatenates one-hot vectors element by
-  element, and
-* the vectorized workload path (:meth:`QueryFeaturizer.featurize_batch` /
+  element,
+* the vectorized *padded* path (:meth:`QueryFeaturizer.featurize_batch` /
   :meth:`QueryFeaturizer.featurize_dataset`), which writes the padded
   ``(batch, max set size, width)`` tensors in a handful of fancy-indexed
-  assignments against precomputed one-hot lookup tables and probes sample
-  bitmaps in one deduplicated, memoized batch.
+  assignments against precomputed one-hot lookup tables, and
+* the vectorized *ragged* path (:meth:`QueryFeaturizer.featurize_ragged`),
+  which skips padding entirely and emits flattened ``(total_elements, width)``
+  arrays plus CSR offsets — the layout of the fused inference engine.
+
+All paths compute in the featurizer's configurable ``dtype`` (float32 by
+default in serving configurations; see ``MSCNConfig.dtype``).  Literal
+normalization is always performed in float64 and rounded once on store, so
+the float32 and float64 paths agree to the last representable bit.
 """
 
 from __future__ import annotations
@@ -40,32 +48,36 @@ from repro.db.query import Query
 from repro.db.sampling import MaterializedSamples
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle, type hints only
-    from repro.core.batching import Batch, FeaturizedDataset
+    from repro.core.batching import Batch, FeaturizedDataset, RaggedDataset
 
 __all__ = ["FeaturizedQuery", "QueryFeaturizer"]
 
 
 class _FeatureLookups:
-    """Precomputed lookup tables for the vectorized featurization path.
+    """Precomputed lookup tables for the vectorized featurization paths.
 
-    One row per vocabulary entry; featurizing a workload then reduces to
-    gathering integer ids and fancy-indexing into these tables.
+    One row per vocabulary entry, stored in the featurizer's compute dtype;
+    featurizing a workload then reduces to gathering integer ids and
+    fancy-indexing into these tables.
     """
 
     def __init__(self, featurizer: "QueryFeaturizer"):
         encoding = featurizer.encoding
-        self.table_eye = np.eye(encoding.num_tables, dtype=np.float64)
+        dtype = featurizer.dtype
+        self.table_eye = np.eye(encoding.num_tables, dtype=dtype)
         # Join rows carry the zero-padding up to the (possibly widened)
         # join feature width, so one gather produces finished vectors.
         self.join_rows = np.zeros(
-            (encoding.num_joins, featurizer.join_feature_width), dtype=np.float64
+            (encoding.num_joins, featurizer.join_feature_width), dtype=dtype
         )
         self.join_rows[:, : encoding.num_joins] = np.eye(encoding.num_joins)
-        self.column_eye = np.eye(encoding.num_columns, dtype=np.float64)
-        self.operator_eye = np.eye(encoding.num_operators, dtype=np.float64)
+        self.column_eye = np.eye(encoding.num_columns, dtype=dtype)
+        self.operator_eye = np.eye(encoding.num_operators, dtype=dtype)
         # Per-column bounds, indexed by column id, for vectorized literal
-        # normalization.  Degenerate columns (max <= min) normalize to 0.0;
-        # their span is set to 1.0 only to keep the division well-defined.
+        # normalization; kept in float64 so normalization math is identical
+        # across compute dtypes.  Degenerate columns (max <= min) normalize
+        # to 0.0; their span is set to 1.0 only to keep the division
+        # well-defined.
         num_columns = encoding.num_columns
         self.column_min = np.zeros(num_columns, dtype=np.float64)
         self.column_span = np.ones(num_columns, dtype=np.float64)
@@ -105,6 +117,37 @@ class FeaturizedQuery:
         return self.predicate_features.shape[0]
 
 
+@dataclass
+class _GatheredWorkload:
+    """Flat integer ids of a workload, collected in one pass over the queries.
+
+    Everything downstream — padded or ragged — is dense array work against
+    these ids.  ``*_query_ids`` and ``*_slots`` give each element's owning
+    query and its position within that query's set.
+    """
+
+    num_queries: int
+    table_query_ids: np.ndarray
+    table_slots: np.ndarray
+    table_ids: np.ndarray
+    sample_probes: list
+    join_query_ids: np.ndarray
+    join_slots: np.ndarray
+    join_ids: np.ndarray
+    predicate_query_ids: np.ndarray
+    predicate_slots: np.ndarray
+    column_ids: np.ndarray
+    operator_ids: np.ndarray
+    literal_values: np.ndarray
+    max_tables: int
+    max_joins: int
+    max_predicates: int
+
+    def lengths(self, query_ids: np.ndarray) -> np.ndarray:
+        """Per-query element counts of one set."""
+        return np.bincount(query_ids, minlength=self.num_queries).astype(np.int64)
+
+
 class QueryFeaturizer:
     """Turns queries into :class:`FeaturizedQuery` instances.
 
@@ -119,6 +162,9 @@ class QueryFeaturizer:
         ``BITMAPS`` variants, ignored by ``NO_SAMPLES``.
     variant:
         Which sampling enrichment to attach to table vectors (Figure 4).
+    dtype:
+        Compute dtype of all produced feature arrays (float64 by default for
+        standalone use; estimators pass their configured serving dtype).
     """
 
     def __init__(
@@ -127,6 +173,7 @@ class QueryFeaturizer:
         value_normalizer: ValueNormalizer,
         samples: MaterializedSamples | None = None,
         variant: FeaturizationVariant = FeaturizationVariant.BITMAPS,
+        dtype: np.dtype | str = np.float64,
     ):
         variant = FeaturizationVariant(variant)
         if variant is not FeaturizationVariant.NO_SAMPLES and samples is None:
@@ -135,6 +182,7 @@ class QueryFeaturizer:
         self.value_normalizer = value_normalizer
         self.samples = samples
         self.variant = variant
+        self.dtype = np.dtype(dtype)
         self._lookups: _FeatureLookups | None = None
 
     # -- feature widths --------------------------------------------------
@@ -163,19 +211,20 @@ class QueryFeaturizer:
     # -- featurization ---------------------------------------------------
     def featurize(self, query: Query) -> FeaturizedQuery:
         """Featurize one query (tables, joins, predicates)."""
+        dtype = self.dtype
         table_rows = [self._table_vector(query, table) for table in query.tables]
         join_rows = [self._join_vector(join) for join in query.joins]
         predicate_rows = [self._predicate_vector(predicate) for predicate in query.predicates]
         return FeaturizedQuery(
-            table_features=np.vstack(table_rows)
+            table_features=np.vstack(table_rows).astype(dtype, copy=False)
             if table_rows
-            else np.zeros((0, self.table_feature_width)),
-            join_features=np.vstack(join_rows)
+            else np.zeros((0, self.table_feature_width), dtype=dtype),
+            join_features=np.vstack(join_rows).astype(dtype, copy=False)
             if join_rows
-            else np.zeros((0, self.join_feature_width)),
-            predicate_features=np.vstack(predicate_rows)
+            else np.zeros((0, self.join_feature_width), dtype=dtype),
+            predicate_features=np.vstack(predicate_rows).astype(dtype, copy=False)
             if predicate_rows
-            else np.zeros((0, self.predicate_feature_width)),
+            else np.zeros((0, self.predicate_feature_width), dtype=dtype),
         )
 
     def featurize_many(self, queries: list[Query]) -> list[FeaturizedQuery]:
@@ -257,16 +306,92 @@ class QueryFeaturizer:
             cardinalities = _column_vector(cardinalities, len(queries), "cardinalities")
         return FeaturizedDataset(*arrays, labels=labels, cardinalities=cardinalities)
 
-    def _vectorized_arrays(
-        self, queries: Sequence[Query]
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """The six padded feature/mask arrays of a workload, built densely."""
+    def featurize_ragged(
+        self,
+        queries: Sequence[Query],
+        cardinalities: np.ndarray | None = None,
+        labels: np.ndarray | None = None,
+    ) -> "RaggedDataset":
+        """Featurize a workload directly into the ragged (CSR) layout.
+
+        No padded tensors are materialized at all: per set, only the real
+        elements are written, flattened in query order, alongside per-query
+        offsets.  This is the serving path's featurization — the arrays feed
+        the fused inference engine without any intermediate reshaping.
+        """
+        from repro.core.batching import (
+            RaggedDataset,
+            RaggedSet,
+            _column_vector,
+            offsets_from_lengths,
+        )
+
+        if not queries:
+            raise ValueError("cannot featurize an empty workload")
+        gathered = self._gather(queries)
         lookups = self.lookups()
         encoding = self.encoding
-        num_queries = len(queries)
+        dtype = self.dtype
 
-        # One pass over the Python query objects gathers flat integer ids;
-        # everything afterwards is dense array work.
+        def offsets_of(query_ids: np.ndarray) -> np.ndarray:
+            return offsets_from_lengths(gathered.lengths(query_ids))
+
+        # Tables.
+        total_tables = gathered.table_ids.shape[0]
+        table_features = np.zeros((total_tables, self.table_feature_width), dtype=dtype)
+        table_features[:, : encoding.num_tables] = lookups.table_eye[gathered.table_ids]
+        if self.variant is not FeaturizationVariant.NO_SAMPLES:
+            bitmaps = self.samples.bitmaps_many(gathered.sample_probes)
+            if self.variant is FeaturizationVariant.NUM_SAMPLES:
+                table_features[:, encoding.num_tables] = (
+                    bitmaps.sum(axis=1) / self.samples.sample_size
+                )
+            else:  # BITMAPS
+                table_features[:, encoding.num_tables :] = bitmaps
+        tables = RaggedSet(
+            features=table_features, offsets=offsets_of(gathered.table_query_ids)
+        )
+
+        # Joins (a plain gather: join rows are complete lookup-table rows).
+        if gathered.join_ids.size:
+            join_features = lookups.join_rows[gathered.join_ids]
+        else:
+            join_features = np.zeros((0, self.join_feature_width), dtype=dtype)
+        joins = RaggedSet(
+            features=join_features, offsets=offsets_of(gathered.join_query_ids)
+        )
+
+        # Predicates.
+        total_predicates = gathered.column_ids.shape[0]
+        predicate_features = np.zeros(
+            (total_predicates, self.predicate_feature_width), dtype=dtype
+        )
+        if total_predicates:
+            rows = np.arange(total_predicates)
+            predicate_features[rows, gathered.column_ids] = 1.0
+            predicate_features[rows, encoding.num_columns + gathered.operator_ids] = 1.0
+            predicate_features[:, -1] = self._normalized_literals(
+                gathered.column_ids, gathered.literal_values
+            )
+        predicates = RaggedSet(
+            features=predicate_features, offsets=offsets_of(gathered.predicate_query_ids)
+        )
+
+        if labels is not None:
+            labels = _column_vector(labels, len(queries), "labels")
+        if cardinalities is not None:
+            cardinalities = _column_vector(cardinalities, len(queries), "cardinalities")
+        return RaggedDataset(
+            tables=tables,
+            joins=joins,
+            predicates=predicates,
+            labels=labels,
+            cardinalities=cardinalities,
+        )
+
+    def _gather(self, queries: Sequence[Query]) -> _GatheredWorkload:
+        """One pass over the Python query objects, gathering flat integer ids."""
+        encoding = self.encoding
         table_query_ids: list[int] = []
         table_slots: list[int] = []
         table_ids: list[int] = []
@@ -319,45 +444,85 @@ class QueryFeaturizer:
                 operator_ids.append(encoding.operator_index[predicate.operator.value])
                 literal_values.append(float(predicate.value))
 
-        table_features = np.zeros(
-            (num_queries, max_tables, self.table_feature_width), dtype=np.float64
+        as_ids = lambda values: np.asarray(values, dtype=np.int64)  # noqa: E731
+        return _GatheredWorkload(
+            num_queries=len(queries),
+            table_query_ids=as_ids(table_query_ids),
+            table_slots=as_ids(table_slots),
+            table_ids=as_ids(table_ids),
+            sample_probes=sample_probes,
+            join_query_ids=as_ids(join_query_ids),
+            join_slots=as_ids(join_slots),
+            join_ids=as_ids(join_ids),
+            predicate_query_ids=as_ids(predicate_query_ids),
+            predicate_slots=as_ids(predicate_slots),
+            column_ids=as_ids(column_ids),
+            operator_ids=as_ids(operator_ids),
+            literal_values=np.asarray(literal_values, dtype=np.float64),
+            max_tables=max_tables,
+            max_joins=max_joins,
+            max_predicates=max_predicates,
         )
-        table_mask = np.zeros((num_queries, max_tables), dtype=np.float64)
-        if table_query_ids:
-            rows = np.asarray(table_query_ids)
-            slots = np.asarray(table_slots)
+
+    def _normalized_literals(
+        self, column_ids: np.ndarray, values: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized literal normalization (always in float64, see module doc)."""
+        lookups = self.lookups()
+        normalized = (values - lookups.column_min[column_ids]) / lookups.column_span[
+            column_ids
+        ]
+        normalized = np.clip(normalized, 0.0, 1.0)
+        normalized[lookups.column_degenerate[column_ids]] = 0.0
+        return normalized
+
+    def _vectorized_arrays(
+        self, queries: Sequence[Query]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The six padded feature/mask arrays of a workload, built densely."""
+        lookups = self.lookups()
+        encoding = self.encoding
+        dtype = self.dtype
+        num_queries = len(queries)
+        gathered = self._gather(queries)
+
+        table_features = np.zeros(
+            (num_queries, gathered.max_tables, self.table_feature_width), dtype=dtype
+        )
+        table_mask = np.zeros((num_queries, gathered.max_tables), dtype=dtype)
+        if gathered.table_query_ids.size:
+            rows = gathered.table_query_ids
+            slots = gathered.table_slots
             table_mask[rows, slots] = 1.0
             table_features[rows, slots, : encoding.num_tables] = lookups.table_eye[
-                np.asarray(table_ids)
+                gathered.table_ids
             ]
-            if needs_samples:
-                bitmaps = self.samples.bitmaps_many(sample_probes)
+            if self.variant is not FeaturizationVariant.NO_SAMPLES:
+                bitmaps = self.samples.bitmaps_many(gathered.sample_probes)
                 if self.variant is FeaturizationVariant.NUM_SAMPLES:
                     fractions = bitmaps.sum(axis=1) / self.samples.sample_size
                     table_features[rows, slots, encoding.num_tables] = fractions
                 else:  # BITMAPS
-                    table_features[rows, slots, encoding.num_tables :] = bitmaps.astype(
-                        np.float64
-                    )
-
+                    table_features[rows, slots, encoding.num_tables :] = bitmaps
         join_features = np.zeros(
-            (num_queries, max_joins, self.join_feature_width), dtype=np.float64
+            (num_queries, gathered.max_joins, self.join_feature_width), dtype=dtype
         )
-        join_mask = np.zeros((num_queries, max_joins), dtype=np.float64)
-        if join_query_ids:
-            rows = np.asarray(join_query_ids)
-            slots = np.asarray(join_slots)
+        join_mask = np.zeros((num_queries, gathered.max_joins), dtype=dtype)
+        if gathered.join_query_ids.size:
+            rows = gathered.join_query_ids
+            slots = gathered.join_slots
             join_mask[rows, slots] = 1.0
-            join_features[rows, slots] = lookups.join_rows[np.asarray(join_ids)]
+            join_features[rows, slots] = lookups.join_rows[gathered.join_ids]
 
         predicate_features = np.zeros(
-            (num_queries, max_predicates, self.predicate_feature_width), dtype=np.float64
+            (num_queries, gathered.max_predicates, self.predicate_feature_width),
+            dtype=dtype,
         )
-        predicate_mask = np.zeros((num_queries, max_predicates), dtype=np.float64)
-        if predicate_query_ids:
-            rows = np.asarray(predicate_query_ids)
-            slots = np.asarray(predicate_slots)
-            columns = np.asarray(column_ids)
+        predicate_mask = np.zeros((num_queries, gathered.max_predicates), dtype=dtype)
+        if gathered.predicate_query_ids.size:
+            rows = gathered.predicate_query_ids
+            slots = gathered.predicate_slots
+            columns = gathered.column_ids
             predicate_mask[rows, slots] = 1.0
             predicate_features[rows, slots, : encoding.num_columns] = lookups.column_eye[
                 columns
@@ -365,14 +530,10 @@ class QueryFeaturizer:
             operator_offset = encoding.num_columns
             predicate_features[
                 rows, slots, operator_offset : operator_offset + encoding.num_operators
-            ] = lookups.operator_eye[np.asarray(operator_ids)]
-            values = np.asarray(literal_values, dtype=np.float64)
-            normalized = (values - lookups.column_min[columns]) / lookups.column_span[
-                columns
-            ]
-            normalized = np.clip(normalized, 0.0, 1.0)
-            normalized[lookups.column_degenerate[columns]] = 0.0
-            predicate_features[rows, slots, -1] = normalized
+            ] = lookups.operator_eye[gathered.operator_ids]
+            predicate_features[rows, slots, -1] = self._normalized_literals(
+                columns, gathered.literal_values
+            )
 
         return (
             table_features,

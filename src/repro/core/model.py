@@ -15,13 +15,23 @@ Average pooling (rather than sum pooling) is used so the magnitude of the set
 representation does not depend on the set size, which eases generalization to
 unseen set sizes; sum pooling is available behind a flag for the ablation
 benchmark.
+
+Two equivalent forward passes are provided:
+
+* :meth:`MSCN.forward` / :meth:`MSCN.forward_batch` — the padded layout: the
+  per-element MLPs run over every padded slot and masked pooling discards the
+  dummy elements.
+* :meth:`MSCN.forward_ragged` — the ragged layout: the per-element MLPs run
+  over the real elements only and pooling is a segment reduction over CSR
+  offsets.  In float64 the two paths are bit-identical (same row-wise matmuls,
+  same summation order); the ragged one simply skips the padded FLOPs.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.functional import masked_mean, masked_sum
+from repro.nn.functional import masked_mean, masked_sum, segment_mean, segment_sum
 from repro.nn.layers import Linear, MLP, Module
 from repro.nn.tensor import Tensor, concatenate
 
@@ -41,6 +51,9 @@ class MSCN(Module):
         Generator used for weight initialization (reproducible training runs).
     pooling:
         ``"mean"`` (the paper's choice) or ``"sum"`` (ablation).
+    dtype:
+        Parameter (and therefore compute) dtype; float64 by default,
+        estimators pass their configured ``MSCNConfig.dtype``.
     """
 
     def __init__(
@@ -51,6 +64,7 @@ class MSCN(Module):
         hidden_units: int = 256,
         rng: np.random.Generator | None = None,
         pooling: str = "mean",
+        dtype: np.dtype | str = np.float64,
     ):
         super().__init__()
         if pooling not in {"mean", "sum"}:
@@ -61,22 +75,37 @@ class MSCN(Module):
         self.predicate_feature_width = predicate_feature_width
         self.hidden_units = hidden_units
         self.pooling = pooling
+        self.dtype = np.dtype(dtype)
 
         self.table_mlp = MLP(table_feature_width, hidden_units, rng=rng)
         self.join_mlp = MLP(join_feature_width, hidden_units, rng=rng)
         self.predicate_mlp = MLP(predicate_feature_width, hidden_units, rng=rng)
         self.output_hidden = Linear(3 * hidden_units, hidden_units, rng=rng)
         self.output_final = Linear(hidden_units, 1, rng=rng, initializer="xavier")
+        if self.dtype != np.float64:
+            for _, parameter in self.named_parameters():
+                parameter.data = parameter.data.astype(self.dtype)
 
     # ------------------------------------------------------------------
-    def _set_module(self, mlp: MLP, features: np.ndarray, mask: np.ndarray) -> Tensor:
-        """Apply a per-element MLP and pool over the set axis."""
+    def _set_module(
+        self,
+        mlp: MLP,
+        features: np.ndarray,
+        mask: np.ndarray,
+        inv_counts: np.ndarray | None = None,
+    ) -> Tensor:
+        """Apply a per-element MLP and pool over the set axis (padded layout)."""
         batch_size, max_set_size, width = features.shape
         flat = Tensor(features.reshape(batch_size * max_set_size, width))
         transformed = mlp(flat)
         stacked = transformed.reshape(batch_size, max_set_size, self.hidden_units)
+        if isinstance(mask, np.ndarray) and mask.ndim == 2 and mask.dtype.kind == "f":
+            # Zero-copy expansion to (batch, set, 1): hits the pooling
+            # primitives' pre-validated fast path (no conversion, and float32
+            # masks stay float32 instead of promoting the pooling to float64).
+            mask = mask[:, :, None]
         if self.pooling == "mean":
-            return masked_mean(stacked, mask)
+            return masked_mean(stacked, mask, inv_counts=inv_counts)
         return masked_sum(stacked, mask)
 
     def forward(
@@ -92,17 +121,57 @@ class MSCN(Module):
         table_repr = self._set_module(self.table_mlp, table_features, table_mask)
         join_repr = self._set_module(self.join_mlp, join_features, join_mask)
         predicate_repr = self._set_module(self.predicate_mlp, predicate_features, predicate_mask)
+        return self._output(table_repr, join_repr, predicate_repr)
+
+    def _output(self, table_repr: Tensor, join_repr: Tensor, predicate_repr: Tensor) -> Tensor:
         merged = concatenate((table_repr, join_repr, predicate_repr), axis=1)
         hidden = self.output_hidden(merged).relu()
         return self.output_final(hidden).sigmoid()
 
     def forward_batch(self, batch) -> Tensor:
-        """Convenience wrapper accepting a :class:`repro.core.batching.Batch`."""
-        return self.forward(
+        """Convenience wrapper accepting a :class:`repro.core.batching.Batch`.
+
+        Uses the batch's precomputed reciprocal set counts when present
+        (batches sliced from a :class:`FeaturizedDataset` carry them), so mean
+        pooling skips the per-forward mask reduction.
+        """
+        table_repr = self._set_module(
+            self.table_mlp,
             batch.table_features,
             batch.table_mask,
+            inv_counts=batch.table_inv_counts,
+        )
+        join_repr = self._set_module(
+            self.join_mlp,
             batch.join_features,
             batch.join_mask,
+            inv_counts=batch.join_inv_counts,
+        )
+        predicate_repr = self._set_module(
+            self.predicate_mlp,
             batch.predicate_features,
             batch.predicate_mask,
+            inv_counts=batch.predicate_inv_counts,
         )
+        return self._output(table_repr, join_repr, predicate_repr)
+
+    # ------------------------------------------------------------------
+    def _set_module_ragged(self, mlp: MLP, ragged_set) -> Tensor:
+        """Apply a per-element MLP to real rows only and segment-pool."""
+        transformed = mlp(Tensor(ragged_set.features))
+        if self.pooling == "mean":
+            return segment_mean(transformed, ragged_set.offsets, ragged_set.inv_counts)
+        return segment_sum(transformed, ragged_set.offsets)
+
+    def forward_ragged(self, dataset) -> Tensor:
+        """Forward pass over a :class:`repro.core.batching.RaggedDataset`.
+
+        The per-element MLPs see only the ``total_elements`` real rows — no
+        padded slots are ever transformed — and pooling is a segment
+        reduction over the CSR offsets.  Differentiable, like
+        :meth:`forward`; output shape (batch, 1).
+        """
+        table_repr = self._set_module_ragged(self.table_mlp, dataset.tables)
+        join_repr = self._set_module_ragged(self.join_mlp, dataset.joins)
+        predicate_repr = self._set_module_ragged(self.predicate_mlp, dataset.predicates)
+        return self._output(table_repr, join_repr, predicate_repr)

@@ -1,10 +1,18 @@
 """Training and validation loop for MSCN.
 
-The paper trains with Adam on mini-batches of padded query featurizations,
+The paper trains with Adam on mini-batches of query featurizations,
 minimizing the mean q-error of the *unnormalized* predictions (Section 3.2),
 and tracks the mean q-error on a held-out validation split after every epoch
 (Figure 6).  Mean-squared error on the normalized labels and the
 geometric-mean q-error are available as alternative objectives (Section 4.8).
+
+Both training and inference run over the ragged (CSR) layout: the per-element
+MLPs touch only real set elements and pooling is a segment reduction, so no
+FLOPs are spent on padding.  Training mini-batches are length-bucketed (see
+``iterate_ragged_minibatches``); inference goes through the graph-free fused
+:class:`~repro.core.inference.InferenceEngine` unless the configuration
+disables it (``fused_inference=False`` falls back to the padded autograd
+path under ``no_grad()``, kept for benchmarking the legacy behaviour).
 """
 
 from __future__ import annotations
@@ -15,9 +23,17 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.batching import Batch, FeaturizedDataset, as_dataset, iterate_minibatches
+from repro.core.batching import (
+    Batch,
+    FeaturizedDataset,
+    RaggedDataset,
+    as_dataset,
+    as_ragged_dataset,
+    iterate_ragged_minibatches,
+)
 from repro.core.config import LossKind, MSCNConfig
 from repro.core.featurization import FeaturizedQuery
+from repro.core.inference import InferenceEngine
 from repro.core.model import MSCN
 from repro.core.normalization import CardinalityNormalizer
 from repro.nn.loss import geometric_q_error_loss, mse_loss, q_error_loss
@@ -26,6 +42,9 @@ from repro.nn.tensor import Tensor, no_grad
 from repro.utils.rng import spawn_rng
 
 __all__ = ["TrainingResult", "MSCNTrainer"]
+
+#: Any of the feature containers the training / prediction APIs accept.
+FeatureInput = "RaggedDataset | FeaturizedDataset | Sequence[FeaturizedQuery]"
 
 
 @dataclass
@@ -63,16 +82,24 @@ class MSCNTrainer:
         self.config = config
         self.optimizer = Adam(model.parameters(), learning_rate=config.learning_rate)
         self._shuffle_rng = spawn_rng(config.seed, "minibatch-shuffle")
+        self._engine: InferenceEngine | None = None
 
     # ------------------------------------------------------------------
     # Loss
     # ------------------------------------------------------------------
-    def _loss(self, predictions: Tensor, batch: Batch) -> Tensor:
-        """Training loss of a batch of normalized predictions."""
+    def _loss(self, predictions: Tensor, batch: "Batch | RaggedDataset") -> Tensor:
+        """Training loss of a batch of normalized predictions.
+
+        Labels and cardinalities are stored as float64 columns; casting them
+        to the prediction dtype here keeps the whole backward pass in the
+        configured compute precision (a float64 operand would silently
+        promote every gradient of a float32 model).
+        """
+        dtype = predictions.data.dtype
         if self.config.loss is LossKind.MSE:
-            return mse_loss(predictions, Tensor(batch.labels))
+            return mse_loss(predictions, Tensor(batch.labels, dtype=dtype))
         predicted_cardinalities = self._denormalize_tensor(predictions)
-        true_cardinalities = Tensor(batch.cardinalities)
+        true_cardinalities = Tensor(batch.cardinalities, dtype=dtype)
         if self.config.loss is LossKind.GEOMETRIC_Q_ERROR:
             return geometric_q_error_loss(predicted_cardinalities, true_cardinalities)
         return q_error_loss(predicted_cardinalities, true_cardinalities)
@@ -86,26 +113,29 @@ class MSCNTrainer:
     # ------------------------------------------------------------------
     def train(
         self,
-        train_features: FeaturizedDataset | Sequence[FeaturizedQuery],
+        train_features: FeatureInput,
         train_cardinalities: np.ndarray,
-        validation_features: FeaturizedDataset | Sequence[FeaturizedQuery] | None = None,
+        validation_features: "FeatureInput | None" = None,
         validation_cardinalities: np.ndarray | None = None,
         epochs: int | None = None,
     ) -> TrainingResult:
         """Train for ``epochs`` passes over the training set.
 
-        Both feature arguments accept a pre-collated
+        Both feature arguments accept a :class:`RaggedDataset`, a padded
         :class:`~repro.core.batching.FeaturizedDataset` or a sequence of
-        per-query featurizations; the latter is padded once up front, so no
-        collation happens inside the epoch loop either way.
+        per-query featurizations; everything is converted to the ragged
+        layout once up front, so neither padding nor per-epoch collation
+        happens inside the epoch loop.
 
         Validation data is optional; when present, the mean validation q-error
         is recorded after every epoch.
         """
         epochs = epochs if epochs is not None else self.config.epochs
-        train_set = as_dataset(train_features)
+        train_set = as_ragged_dataset(train_features)
         validation_set = (
-            as_dataset(validation_features) if validation_features is not None else None
+            as_ragged_dataset(validation_features)
+            if validation_features is not None
+            else None
         )
         train_cardinalities = np.asarray(train_cardinalities, dtype=np.float64)
         train_labels = self.normalizer.normalize(train_cardinalities)
@@ -115,15 +145,16 @@ class MSCNTrainer:
         for _ in range(epochs):
             epoch_losses: list[float] = []
             shuffle_rng = self._shuffle_rng if self.config.shuffle else None
-            for batch in iterate_minibatches(
+            for batch in iterate_ragged_minibatches(
                 train_set,
                 train_labels,
                 train_cardinalities,
                 self.config.batch_size,
                 rng=shuffle_rng,
+                bucket_by_length=self.config.bucket_by_length,
             ):
                 self.optimizer.zero_grad()
-                predictions = self.model.forward_batch(batch)
+                predictions = self.model.forward_ragged(batch)
                 loss = self._loss(predictions, batch)
                 loss.backward()
                 self.optimizer.step()
@@ -144,16 +175,52 @@ class MSCNTrainer:
     # ------------------------------------------------------------------
     # Inference
     # ------------------------------------------------------------------
+    def engine(self) -> InferenceEngine:
+        """The cached fused inference engine (weights refreshed by callers)."""
+        if self._engine is None:
+            self._engine = InferenceEngine(self.model, dtype=self.config.np_dtype)
+        return self._engine
+
     def predict_normalized(
         self,
-        features: FeaturizedDataset | Sequence[FeaturizedQuery],
+        features: FeatureInput,
         batch_size: int | None = None,
+        fused: bool | None = None,
     ) -> np.ndarray:
-        """Raw sigmoid outputs in [0, 1], computed in ``batch_size`` chunks."""
+        """Raw sigmoid outputs in [0, 1], computed in ``batch_size`` chunks.
+
+        ``fused`` overrides ``config.fused_inference``: ``True`` runs the
+        graph-free engine over the ragged layout, ``False`` the legacy padded
+        autograd path under ``no_grad()``.
+        """
+        use_fused = self.config.fused_inference if fused is None else fused
+        batch_size = batch_size if batch_size is not None else self.config.batch_size
+        if use_fused:
+            return self._predict_normalized_fused(features, batch_size)
+        return self._predict_normalized_padded(features, batch_size)
+
+    def _predict_normalized_fused(self, features: FeatureInput, batch_size: int) -> np.ndarray:
+        if not isinstance(features, RaggedDataset) and not features:
+            return np.empty(0, dtype=np.float64)
+        dataset = as_ragged_dataset(features)
+        if dataset.size == 0:
+            return np.empty(0, dtype=np.float64)
+        self.model.eval()
+        engine = self.engine()
+        engine.refresh()
+        outputs: list[np.ndarray] = []
+        for start in range(0, dataset.size, batch_size):
+            chunk = dataset.slice(start, min(start + batch_size, dataset.size))
+            outputs.append(engine.run(chunk))
+        return np.concatenate(outputs)
+
+    def _predict_normalized_padded(self, features: FeatureInput, batch_size: int) -> np.ndarray:
+        """The legacy padded inference path (benchmark baseline)."""
+        if isinstance(features, RaggedDataset):
+            features = features.to_padded() if features.size else []
         dataset = self._prediction_dataset(features)
         if dataset is None:
             return np.empty(0, dtype=np.float64)
-        batch_size = batch_size if batch_size is not None else self.config.batch_size
         outputs: list[np.ndarray] = []
         self.model.eval()
         with no_grad():
@@ -165,18 +232,19 @@ class MSCNTrainer:
 
     def predict(
         self,
-        features: FeaturizedDataset | Sequence[FeaturizedQuery],
+        features: FeatureInput,
         batch_size: int | None = None,
+        fused: bool | None = None,
     ) -> np.ndarray:
         """Predict cardinalities for featurized queries (denormalized, >= 1)."""
-        normalized = self.predict_normalized(features, batch_size=batch_size)
+        normalized = self.predict_normalized(features, batch_size=batch_size, fused=fused)
         if normalized.size == 0:
             return np.empty(0, dtype=np.float64)
         return self.normalizer.denormalize(normalized)
 
     @staticmethod
     def _prediction_dataset(
-        features: FeaturizedDataset | Sequence[FeaturizedQuery],
+        features: "FeaturizedDataset | Sequence[FeaturizedQuery]",
     ) -> FeaturizedDataset | None:
         if isinstance(features, FeaturizedDataset):
             return features if features.size else None
@@ -186,7 +254,7 @@ class MSCNTrainer:
 
     def mean_q_error(
         self,
-        features: FeaturizedDataset | Sequence[FeaturizedQuery],
+        features: FeatureInput,
         cardinalities: np.ndarray,
     ) -> float:
         """Mean q-error of the current model on a labelled feature set."""

@@ -1,8 +1,17 @@
 """Functional helpers used by the MSCN model.
 
-The key primitive is :func:`masked_mean`, which implements the paper's
-set-pooling step: the per-element MLP outputs of a set are averaged while
-ignoring zero-padded dummy elements (Section 3.2 of the paper).
+Two families of set-pooling primitives implement the paper's Section 3.2
+averaging step (per-element MLP outputs pooled per set, ignoring dummy
+elements):
+
+* the *padded* primitives :func:`masked_mean` / :func:`masked_sum`, which
+  operate on ``(batch, set, dim)`` tensors with a binary mask, and
+* the *ragged* primitives :func:`segment_mean` / :func:`segment_sum`, which
+  operate on flattened ``(total_elements, dim)`` tensors with CSR-style
+  per-query offsets and never touch padding at all.
+
+Both families are differentiable; the ragged path is the fast one (see
+``repro.core.batching.RaggedDataset``).
 """
 
 from __future__ import annotations
@@ -11,7 +20,17 @@ import numpy as np
 
 from repro.nn.tensor import Tensor, concatenate, maximum
 
-__all__ = ["masked_mean", "masked_sum", "relu", "sigmoid", "concatenate", "maximum"]
+__all__ = [
+    "masked_mean",
+    "masked_sum",
+    "segment_mean",
+    "segment_sum",
+    "segment_sum_array",
+    "relu",
+    "sigmoid",
+    "concatenate",
+    "maximum",
+]
 
 
 def relu(tensor: Tensor) -> Tensor:
@@ -25,6 +44,17 @@ def sigmoid(tensor: Tensor) -> Tensor:
 
 
 def _validate_mask(values: Tensor, mask: np.ndarray) -> np.ndarray:
+    # Fast path: a pre-broadcast floating (batch, set, 1) mask (the model
+    # expands its 2-D masks to zero-copy views) passes through untouched,
+    # keeping float32 pooling in float32.
+    if (
+        isinstance(mask, np.ndarray)
+        and mask.ndim == 3
+        and mask.shape[2] == 1
+        and mask.dtype.kind == "f"
+        and mask.shape[:2] == values.shape[:2]
+    ):
+        return mask
     mask = np.asarray(mask, dtype=np.float64)
     if mask.ndim == 2:
         mask = mask[:, :, None]
@@ -45,16 +75,106 @@ def masked_sum(values: Tensor, mask: np.ndarray) -> Tensor:
     return (values * Tensor(mask)).sum(axis=1)
 
 
-def masked_mean(values: Tensor, mask: np.ndarray) -> Tensor:
+def masked_mean(
+    values: Tensor, mask: np.ndarray, inv_counts: np.ndarray | None = None
+) -> Tensor:
     """Average ``values`` of shape (batch, set, dim) over real set elements.
 
     Padded (masked-out) elements do not contribute.  Rows whose mask is all
     zero (an empty set, e.g. the join set of a single-table query) produce a
     zero vector rather than NaN — matching the reference implementation, which
     always keeps at least one zero-vector element for empty sets.
+
+    ``inv_counts`` optionally supplies the precomputed ``(batch, 1)``
+    reciprocal real-element counts (``1 / max(mask.sum(axis=1), 1)``), saving
+    the per-forward reduction; ``FeaturizedDataset`` caches them per workload.
     """
     mask = _validate_mask(values, mask)
     summed = (values * Tensor(mask)).sum(axis=1)
-    counts = mask.sum(axis=1)
-    counts = np.maximum(counts, 1.0)
-    return summed * Tensor(1.0 / counts)
+    if inv_counts is None:
+        counts = mask.sum(axis=1)
+        counts = np.maximum(counts, 1.0)
+        inv_counts = 1.0 / counts
+    return summed * Tensor(inv_counts)
+
+
+def _segment_offsets(offsets: np.ndarray) -> np.ndarray:
+    offsets = np.asarray(offsets, dtype=np.int64)
+    if offsets.ndim != 1 or offsets.shape[0] < 1:
+        raise ValueError("offsets must be a 1-D array of at least one boundary")
+    return offsets
+
+
+def segment_sum_array(
+    data: np.ndarray,
+    offsets: np.ndarray,
+    lengths: np.ndarray,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Plain-numpy segment sum over contiguous row segments.
+
+    Accumulates slot-by-slot (segment element ``k`` of every segment is added
+    in round ``k``), which is *left-associative per segment* — exactly the
+    order ``(values * mask).sum(axis=1)`` uses on the padded layout, so the
+    ragged and padded pooling paths are bit-identical in float64.
+    (``np.add.reduceat`` would be a single call but accumulates in a
+    different association order, breaking bit-equality; the slot loop runs at
+    most ``max set size`` vectorized gather-adds, which is just as fast for
+    the small sets of this workload shape.)
+    """
+    num_segments = lengths.shape[0]
+    if out is None:
+        out = np.zeros((num_segments, data.shape[1]), dtype=data.dtype)
+    else:
+        out[:] = 0.0
+    if data.shape[0] == 0 or num_segments == 0:
+        return out
+    starts = offsets[:-1]
+    max_length = int(lengths.max())
+    for slot in range(max_length):
+        active = np.flatnonzero(lengths > slot)
+        # Each segment index appears at most once in ``active``, so a plain
+        # fancy-indexed add is collision-free.
+        out[active] += data[starts[active] + slot]
+    return out
+
+
+def segment_sum(values: Tensor, offsets: np.ndarray) -> Tensor:
+    """Sum contiguous row segments of a ``(total, dim)`` tensor.
+
+    ``offsets`` holds ``num_segments + 1`` monotonically non-decreasing row
+    boundaries; segment ``i`` covers rows ``offsets[i]:offsets[i + 1]``.
+    Empty segments produce zero rows.
+    """
+    offsets = _segment_offsets(offsets)
+    data = values.data
+    if data.ndim != 2:
+        raise ValueError("segment_sum expects a 2-D (total, dim) tensor")
+    if offsets[-1] != data.shape[0]:
+        raise ValueError(
+            f"offsets cover {offsets[-1]} rows but values has {data.shape[0]}"
+        )
+    lengths = np.diff(offsets)
+    out = segment_sum_array(data, offsets, lengths)
+
+    def backward(grad: np.ndarray) -> None:
+        if values.requires_grad:
+            values._accumulate(np.repeat(grad, lengths, axis=0))
+
+    return Tensor._from_op(out, (values,), backward)
+
+
+def segment_mean(
+    values: Tensor, offsets: np.ndarray, inv_counts: np.ndarray | None = None
+) -> Tensor:
+    """Average contiguous row segments; empty segments produce zero rows.
+
+    ``inv_counts`` optionally supplies the precomputed ``(num_segments, 1)``
+    reciprocal segment lengths (``1 / max(length, 1)``), as cached by
+    ``RaggedSet``.
+    """
+    summed = segment_sum(values, offsets)
+    if inv_counts is None:
+        lengths = np.diff(_segment_offsets(offsets)).astype(summed.data.dtype)
+        inv_counts = (1.0 / np.maximum(lengths, 1.0))[:, None]
+    return summed * Tensor(inv_counts)

@@ -93,13 +93,16 @@ class Module:
                 f"state dict mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}"
             )
         for name, parameter in own.items():
-            value = np.asarray(state[name], dtype=np.float64)
+            # Keep the parameter's compute dtype (the model may run float32).
+            value = np.asarray(state[name], dtype=parameter.data.dtype)
             if value.shape != parameter.data.shape:
                 raise ValueError(
                     f"parameter {name!r} has shape {parameter.data.shape}, "
                     f"state provides {value.shape}"
                 )
-            parameter.data = value.copy()
+            # Copy into the existing buffer so references held by optimizers
+            # and inference engines stay valid.
+            np.copyto(parameter.data, value)
 
 
 class Linear(Module):

@@ -58,7 +58,10 @@ class SGD(Optimizer):
                 continue
             velocity *= self.momentum
             velocity -= self.learning_rate * parameter.grad
-            parameter.data = parameter.data + velocity
+            # In-place update: the parameter buffer identity is stable, so
+            # engine/optimizer references never go stale and no per-step
+            # allocation happens.
+            np.add(parameter.data, velocity, out=parameter.data)
 
 
 class Adam(Optimizer):
@@ -84,13 +87,16 @@ class Adam(Optimizer):
         self._step_count = 0
         self._first_moment = [np.zeros_like(p.data) for p in self.parameters]
         self._second_moment = [np.zeros_like(p.data) for p in self.parameters]
+        # Per-parameter scratch for the update term, so a step allocates
+        # nothing and the parameter buffers are updated strictly in place.
+        self._scratch = [np.empty_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
         self._step_count += 1
         bias_correction1 = 1.0 - self.beta1**self._step_count
         bias_correction2 = 1.0 - self.beta2**self._step_count
-        for parameter, first, second in zip(
-            self.parameters, self._first_moment, self._second_moment
+        for parameter, first, second, scratch in zip(
+            self.parameters, self._first_moment, self._second_moment, self._scratch
         ):
             if parameter.grad is None:
                 continue
@@ -99,8 +105,11 @@ class Adam(Optimizer):
             first += (1.0 - self.beta1) * grad
             second *= self.beta2
             second += (1.0 - self.beta2) * grad * grad
-            corrected_first = first / bias_correction1
-            corrected_second = second / bias_correction2
-            parameter.data = parameter.data - self.learning_rate * corrected_first / (
-                np.sqrt(corrected_second) + self.epsilon
-            )
+            # update = lr * (first / bc1) / (sqrt(second / bc2) + eps),
+            # computed entirely in the scratch buffer.
+            np.divide(second, bias_correction2, out=scratch)
+            np.sqrt(scratch, out=scratch)
+            scratch += self.epsilon
+            np.divide(first, scratch, out=scratch)
+            scratch *= self.learning_rate / bias_correction1
+            np.subtract(parameter.data, scratch, out=parameter.data)

@@ -46,10 +46,39 @@ def is_grad_enabled() -> bool:
     return _GRAD_ENABLED
 
 
-def _as_array(value) -> np.ndarray:
-    if isinstance(value, np.ndarray):
-        return value.astype(np.float64, copy=False)
+_FLOAT_DTYPES = (np.float32, np.float64)
+
+
+def _as_array(value, dtype: np.dtype | None = None) -> np.ndarray:
+    """Coerce ``value`` to a floating numpy array.
+
+    Arrays that are already single or double precision keep their dtype (the
+    compute precision is configured upstream, see ``MSCNConfig.dtype``);
+    everything else is converted to ``dtype`` (default ``float64``).
+    """
+    if dtype is not None:
+        return np.asarray(value, dtype=dtype)
+    if isinstance(value, np.ndarray) and value.dtype in _FLOAT_DTYPES:
+        return value
+    if isinstance(value, np.floating) and value.dtype in _FLOAT_DTYPES:
+        # 0-d results of reductions (e.g. ``array.sum()``) arrive as numpy
+        # scalars; keep their precision instead of promoting to float64.
+        return np.asarray(value)
     return np.asarray(value, dtype=np.float64)
+
+
+def _coerce_operand(value, like: np.ndarray) -> "Tensor":
+    """Wrap a non-tensor operand, matching ``like``'s dtype for scalars.
+
+    Matching the dtype keeps float32 graphs in float32: a bare python float
+    would otherwise be converted to a float64 array and silently promote
+    every downstream operation.
+    """
+    if isinstance(value, Tensor):
+        return value
+    if isinstance(value, np.ndarray) and value.dtype in _FLOAT_DTYPES:
+        return Tensor(value)
+    return Tensor(np.asarray(value, dtype=like.dtype))
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -77,16 +106,26 @@ class Tensor:
     Parameters
     ----------
     data:
-        Anything convertible to a ``float64`` numpy array.
+        Anything convertible to a floating numpy array.  Float32 and float64
+        arrays keep their dtype (the pipeline's compute precision is
+        configured upstream); everything else converts to float64.
     requires_grad:
         Whether gradients should be accumulated into :attr:`grad` during
         :meth:`backward`.
+    dtype:
+        Optional explicit dtype override for the stored array.
     """
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
 
-    def __init__(self, data, requires_grad: bool = False, name: str | None = None):
-        self.data = _as_array(data)
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        name: str | None = None,
+        dtype: np.dtype | None = None,
+    ):
+        self.data = _as_array(data, dtype=dtype)
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self.grad: np.ndarray | None = None
         self._backward: Callable[[np.ndarray], None] | None = None
@@ -203,7 +242,7 @@ class Tensor:
     # Element-wise arithmetic
     # ------------------------------------------------------------------
     def __add__(self, other) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = _coerce_operand(other, self.data)
         out_data = self.data + other.data
 
         def backward(grad: np.ndarray) -> None:
@@ -227,14 +266,14 @@ class Tensor:
         return Tensor._from_op(out_data, (self,), backward)
 
     def __sub__(self, other) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = _coerce_operand(other, self.data)
         return self.__add__(-other)
 
     def __rsub__(self, other) -> "Tensor":
-        return Tensor(other).__add__(-self)
+        return _coerce_operand(other, self.data).__add__(-self)
 
     def __mul__(self, other) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = _coerce_operand(other, self.data)
         out_data = self.data * other.data
 
         def backward(grad: np.ndarray) -> None:
@@ -249,7 +288,7 @@ class Tensor:
         return self.__mul__(other)
 
     def __truediv__(self, other) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = _coerce_operand(other, self.data)
         out_data = self.data / other.data
 
         def backward(grad: np.ndarray) -> None:
@@ -263,7 +302,7 @@ class Tensor:
         return Tensor._from_op(out_data, (self, other), backward)
 
     def __rtruediv__(self, other) -> "Tensor":
-        return Tensor(other).__truediv__(self)
+        return _coerce_operand(other, self.data).__truediv__(self)
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
@@ -280,7 +319,7 @@ class Tensor:
     # Matrix multiplication
     # ------------------------------------------------------------------
     def matmul(self, other: "Tensor") -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = _coerce_operand(other, self.data)
         if self.data.ndim != 2 or other.data.ndim != 2:
             raise ValueError("matmul supports 2-D operands only; reshape first")
         out_data = self.data @ other.data

@@ -1,0 +1,426 @@
+"""Tests of the ragged compute engine and the fused inference path.
+
+The contracts under test:
+
+* in float64, the ragged autograd path (``MSCN.forward_ragged``) and the
+  graph-free :class:`~repro.core.inference.InferenceEngine` are
+  **bit-identical** to the padded masked-pooling path, for all three
+  featurization variants, including empty join/predicate sets;
+* in float32, the fused path stays within single-precision tolerance of the
+  float64 reference and preserves the q-error ranking of a seeded workload;
+* the ragged containers (gather, slice, minibatch iteration) are faithful
+  re-arrangements of the underlying queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.batching import (
+    FeaturizedDataset,
+    RaggedDataset,
+    as_ragged_dataset,
+    collate,
+    iterate_ragged_minibatches,
+)
+from repro.core.config import FeaturizationVariant, MSCNConfig
+from repro.core.encoding import SchemaEncoding
+from repro.core.estimator import MSCNEstimator
+from repro.core.featurization import QueryFeaturizer
+from repro.core.inference import InferenceEngine
+from repro.core.model import MSCN
+from repro.core.normalization import ValueNormalizer
+from repro.db.query import Query
+from repro.evaluation.metrics import q_errors
+from repro.nn.functional import segment_mean, segment_sum
+from repro.nn.tensor import Tensor, no_grad
+
+ALL_VARIANTS = tuple(FeaturizationVariant)
+
+
+@pytest.fixture(scope="module")
+def featurizer_parts(tiny_database, tiny_samples):
+    encoding = SchemaEncoding.from_schema(tiny_database.schema)
+    value_normalizer = ValueNormalizer.from_database(tiny_database)
+    return encoding, value_normalizer, tiny_samples
+
+
+def make_featurizer(parts, variant, dtype=np.float64):
+    encoding, value_normalizer, samples = parts
+    return QueryFeaturizer(
+        encoding, value_normalizer, samples=samples, variant=variant, dtype=dtype
+    )
+
+
+@pytest.fixture(scope="module")
+def workload_queries(tiny_workload):
+    # Prepend a single-table query with no joins and no predicates so the
+    # empty-set handling is exercised by every equivalence test.
+    return [Query(tables=("title",))] + [labelled.query for labelled in tiny_workload]
+
+
+def make_model(featurizer, dtype=np.float64, pooling="mean", hidden=24):
+    return MSCN(
+        table_feature_width=featurizer.table_feature_width,
+        join_feature_width=featurizer.join_feature_width,
+        predicate_feature_width=featurizer.predicate_feature_width,
+        hidden_units=hidden,
+        rng=np.random.default_rng(3),
+        pooling=pooling,
+        dtype=dtype,
+    )
+
+
+class TestRaggedFeaturization:
+    @pytest.mark.parametrize("variant", ALL_VARIANTS)
+    def test_ragged_matches_padded_real_elements(
+        self, featurizer_parts, workload_queries, variant
+    ):
+        """featurize_ragged emits exactly the real rows of the padded layout,
+        in the same order, with identical offsets."""
+        featurizer = make_featurizer(featurizer_parts, variant)
+        padded = featurizer.featurize_dataset(workload_queries)
+        ragged = featurizer.featurize_ragged(workload_queries)
+        stripped = padded.to_ragged()
+        for name in ("tables", "joins", "predicates"):
+            np.testing.assert_array_equal(
+                getattr(ragged, name).features, getattr(stripped, name).features, err_msg=name
+            )
+            np.testing.assert_array_equal(
+                getattr(ragged, name).offsets, getattr(stripped, name).offsets, err_msg=name
+            )
+
+    def test_ragged_from_featurized_matches_vectorized(
+        self, featurizer_parts, workload_queries
+    ):
+        featurizer = make_featurizer(featurizer_parts, FeaturizationVariant.BITMAPS)
+        vectorized = featurizer.featurize_ragged(workload_queries)
+        legacy = RaggedDataset.from_featurized(featurizer.featurize_many(workload_queries))
+        for name in ("tables", "joins", "predicates"):
+            np.testing.assert_array_equal(
+                getattr(vectorized, name).features, getattr(legacy, name).features
+            )
+            np.testing.assert_array_equal(
+                getattr(vectorized, name).offsets, getattr(legacy, name).offsets
+            )
+
+    def test_empty_workload_raises(self, featurizer_parts):
+        featurizer = make_featurizer(featurizer_parts, FeaturizationVariant.NO_SAMPLES)
+        with pytest.raises(ValueError):
+            featurizer.featurize_ragged([])
+
+
+class TestFloat64BitIdentity:
+    @pytest.mark.parametrize("variant", ALL_VARIANTS)
+    @pytest.mark.parametrize("pooling", ["mean", "sum"])
+    def test_ragged_forward_bit_identical_to_padded(
+        self, featurizer_parts, workload_queries, variant, pooling
+    ):
+        featurizer = make_featurizer(featurizer_parts, variant)
+        model = make_model(featurizer, pooling=pooling)
+        padded = featurizer.featurize_dataset(workload_queries)
+        ragged = featurizer.featurize_ragged(workload_queries)
+        with no_grad():
+            reference = model.forward_batch(padded.batch()).numpy()
+            via_ragged = model.forward_ragged(ragged).numpy()
+        np.testing.assert_array_equal(reference, via_ragged)
+
+    @pytest.mark.parametrize("variant", ALL_VARIANTS)
+    def test_fused_engine_bit_identical_to_padded(
+        self, featurizer_parts, workload_queries, variant
+    ):
+        featurizer = make_featurizer(featurizer_parts, variant)
+        model = make_model(featurizer)
+        padded = featurizer.featurize_dataset(workload_queries)
+        ragged = featurizer.featurize_ragged(workload_queries)
+        engine = InferenceEngine(model, dtype=np.float64)
+        with no_grad():
+            reference = model.forward_batch(padded.batch()).numpy().reshape(-1)
+        np.testing.assert_array_equal(reference, engine.run(ragged))
+
+    def test_engine_handles_empty_sets_and_single_queries(
+        self, featurizer_parts
+    ):
+        featurizer = make_featurizer(featurizer_parts, FeaturizationVariant.BITMAPS)
+        model = make_model(featurizer)
+        engine = InferenceEngine(model, dtype=np.float64)
+        queries = [Query(tables=("title",))]
+        ragged = featurizer.featurize_ragged(queries)
+        assert ragged.joins.features.shape[0] == 0
+        assert ragged.predicates.features.shape[0] == 0
+        with no_grad():
+            reference = (
+                model.forward_batch(collate(featurizer.featurize_many(queries)))
+                .numpy()
+                .reshape(-1)
+            )
+        np.testing.assert_array_equal(reference, engine.run(ragged))
+
+    def test_engine_refresh_tracks_weight_updates(self, featurizer_parts, workload_queries):
+        featurizer = make_featurizer(featurizer_parts, FeaturizationVariant.NO_SAMPLES)
+        model = make_model(featurizer)
+        ragged = featurizer.featurize_ragged(workload_queries[:10])
+        engine = InferenceEngine(model, dtype=np.float64)
+        before = engine.run(ragged).copy()
+        for _, parameter in model.named_parameters():
+            parameter.data += 0.05
+        engine.refresh()
+        after = engine.run(ragged)
+        assert not np.allclose(before, after)
+        with no_grad():
+            reference = model.forward_ragged(ragged).numpy().reshape(-1)
+        np.testing.assert_array_equal(reference, after)
+
+
+class TestFloat32FusedPath:
+    def test_float32_predictions_within_tolerance_and_same_ranking(
+        self, tiny_database, tiny_samples, tiny_workload
+    ):
+        """The float32 fused path tracks the float64 path to < 1e-3 relative
+        error and ranks the workload's q-errors identically."""
+        base = MSCNConfig(
+            hidden_units=24, epochs=12, batch_size=32, num_samples=50, seed=13
+        )
+        estimator64 = MSCNEstimator(
+            tiny_database, base.replace(dtype="float64"), samples=tiny_samples
+        )
+        estimator64.fit(tiny_workload)
+        estimator32 = MSCNEstimator(
+            tiny_database, base.replace(dtype="float32"), samples=tiny_samples
+        )
+        estimator32.fit(tiny_workload)
+
+        queries = [labelled.query for labelled in tiny_workload]
+        truths = np.array([labelled.cardinality for labelled in tiny_workload])
+        predictions64 = estimator64.estimate_many(queries)
+        # Run the float64-trained weights through a float32 engine so the
+        # comparison isolates inference precision (training trajectories
+        # diverge between dtypes long before round-off matters).
+        estimator32._model.load_state_dict(estimator64._model.state_dict())
+        predictions32 = estimator32.estimate_many(queries)
+
+        relative_error = np.abs(predictions32 - predictions64) / predictions64
+        assert relative_error.max() < 1e-3
+        ranking64 = np.argsort(q_errors(predictions64, truths), kind="stable")
+        ranking32 = np.argsort(q_errors(predictions32, truths), kind="stable")
+        np.testing.assert_array_equal(ranking64, ranking32)
+
+    def test_float32_training_does_not_promote_to_float64(
+        self, featurizer_parts, workload_queries
+    ):
+        """The whole backward pass stays in the configured precision: a
+        float64 operand anywhere (labels, scalars, reduction results) would
+        silently promote every gradient of a float32 model."""
+        from repro.core.normalization import CardinalityNormalizer
+        from repro.core.trainer import MSCNTrainer
+
+        featurizer = make_featurizer(
+            featurizer_parts, FeaturizationVariant.BITMAPS, dtype=np.float32
+        )
+        model = make_model(featurizer, dtype=np.float32)
+        cardinalities = np.linspace(1.0, 500.0, len(workload_queries))
+        config = MSCNConfig(
+            hidden_units=24, epochs=1, batch_size=16, num_samples=50, dtype="float32"
+        )
+        trainer = MSCNTrainer(model, CardinalityNormalizer.fit(cardinalities), config)
+        ragged = featurizer.featurize_ragged(workload_queries)
+        batch = ragged.take(
+            np.arange(16),
+            labels=trainer.normalizer.normalize(cardinalities[:16]),
+            cardinalities=cardinalities[:16],
+        )
+        predictions = model.forward_ragged(batch)
+        loss = trainer._loss(predictions, batch)
+        assert loss.data.dtype == np.float32
+        loss.backward()
+        assert {p.grad.dtype for p in model.parameters()} == {np.dtype(np.float32)}
+
+    def test_float32_pipeline_produces_float32_tensors(
+        self, featurizer_parts, workload_queries
+    ):
+        featurizer = make_featurizer(
+            featurizer_parts, FeaturizationVariant.BITMAPS, dtype=np.float32
+        )
+        ragged = featurizer.featurize_ragged(workload_queries)
+        assert ragged.tables.features.dtype == np.float32
+        padded = featurizer.featurize_dataset(workload_queries)
+        assert padded.table_features.dtype == np.float32
+        model = make_model(featurizer, dtype=np.float32)
+        assert all(p.data.dtype == np.float32 for p in model.parameters())
+        engine = InferenceEngine(model, dtype=np.float32)
+        assert engine.run(ragged).dtype == np.float32
+
+
+class TestRaggedContainers:
+    def test_take_matches_python_reference(self, featurizer_parts, workload_queries):
+        featurizer = make_featurizer(featurizer_parts, FeaturizationVariant.NO_SAMPLES)
+        ragged = featurizer.featurize_ragged(workload_queries)
+        rng = np.random.default_rng(5)
+        indices = rng.permutation(len(workload_queries))[:17]
+        taken = ragged.take(indices)
+        reference = featurizer.featurize_ragged([workload_queries[i] for i in indices])
+        for name in ("tables", "joins", "predicates"):
+            np.testing.assert_array_equal(
+                getattr(taken, name).features, getattr(reference, name).features
+            )
+            np.testing.assert_array_equal(
+                getattr(taken, name).offsets, getattr(reference, name).offsets
+            )
+
+    def test_slice_is_a_view(self, featurizer_parts, workload_queries):
+        featurizer = make_featurizer(featurizer_parts, FeaturizationVariant.NO_SAMPLES)
+        ragged = featurizer.featurize_ragged(workload_queries)
+        chunk = ragged.slice(3, 9)
+        assert chunk.size == 6
+        assert chunk.tables.features.base is ragged.tables.features
+        reference = featurizer.featurize_ragged(workload_queries[3:9])
+        np.testing.assert_array_equal(chunk.tables.features, reference.tables.features)
+        np.testing.assert_array_equal(chunk.predicates.offsets, reference.predicates.offsets)
+
+    def test_to_padded_roundtrip_is_bit_identical(
+        self, featurizer_parts, workload_queries
+    ):
+        """ragged -> padded re-padding reproduces the direct padded arrays
+        (the legacy inference fallback consumes ragged serving datasets)."""
+        featurizer = make_featurizer(featurizer_parts, FeaturizationVariant.BITMAPS)
+        direct = featurizer.featurize_dataset(workload_queries)
+        roundtrip = featurizer.featurize_ragged(workload_queries).to_padded()
+        for attribute in (
+            "table_features", "table_mask", "join_features",
+            "join_mask", "predicate_features", "predicate_mask",
+        ):
+            np.testing.assert_array_equal(
+                getattr(direct, attribute), getattr(roundtrip, attribute), err_msg=attribute
+            )
+
+    def test_as_ragged_dataset_roundtrip_through_padded(
+        self, featurizer_parts, workload_queries
+    ):
+        featurizer = make_featurizer(featurizer_parts, FeaturizationVariant.BITMAPS)
+        padded = featurizer.featurize_dataset(workload_queries)
+        ragged = as_ragged_dataset(padded)
+        direct = featurizer.featurize_ragged(workload_queries)
+        np.testing.assert_array_equal(
+            ragged.predicates.features, direct.predicates.features
+        )
+        assert as_ragged_dataset(ragged) is ragged
+
+    def test_ragged_minibatches_cover_all_queries_once(
+        self, featurizer_parts, workload_queries
+    ):
+        featurizer = make_featurizer(featurizer_parts, FeaturizationVariant.NO_SAMPLES)
+        ragged = featurizer.featurize_ragged(workload_queries)
+        count = ragged.size
+        labels = np.arange(count, dtype=np.float64)
+        cards = labels + 1.0
+        seen: list[float] = []
+        for batch in iterate_ragged_minibatches(
+            ragged, labels, cards, batch_size=16, rng=np.random.default_rng(0)
+        ):
+            assert isinstance(batch, RaggedDataset)
+            assert batch.size <= 16
+            seen.extend(batch.labels.reshape(-1).tolist())
+        assert sorted(seen) == labels.tolist()
+
+    def test_bucketed_batches_are_length_homogeneous(
+        self, featurizer_parts, workload_queries
+    ):
+        """With bucketing, the spread of per-query element counts inside a
+        batch is no larger than without it (and the workload still shuffles)."""
+        featurizer = make_featurizer(featurizer_parts, FeaturizationVariant.NO_SAMPLES)
+        ragged = featurizer.featurize_ragged(workload_queries)
+        labels = np.zeros(ragged.size)
+        cards = np.ones(ragged.size)
+
+        def spread(bucketed: bool) -> float:
+            rng = np.random.default_rng(1)
+            spreads = []
+            for batch in iterate_ragged_minibatches(
+                ragged, labels, cards, 16, rng=rng, bucket_by_length=bucketed
+            ):
+                totals = batch.total_elements
+                spreads.append(float(totals.max() - totals.min()))
+            return float(np.mean(spreads))
+
+        assert spread(True) <= spread(False)
+
+
+class TestSegmentOps:
+    def test_segment_sum_matches_manual(self):
+        data = Tensor(np.arange(10, dtype=np.float64).reshape(5, 2))
+        offsets = np.array([0, 2, 2, 5])
+        result = segment_sum(data, offsets).numpy()
+        np.testing.assert_array_equal(
+            result, [[0 + 2, 1 + 3], [0.0, 0.0], [4 + 6 + 8, 5 + 7 + 9]]
+        )
+
+    def test_segment_mean_empty_segment_is_zero(self):
+        data = Tensor(np.ones((3, 4)))
+        offsets = np.array([0, 3, 3])
+        result = segment_mean(data, offsets).numpy()
+        np.testing.assert_array_equal(result, [[1.0] * 4, [0.0] * 4])
+
+    def test_segment_sum_gradient_repeats_per_segment(self):
+        values = Tensor(np.ones((4, 2)), requires_grad=True)
+        offsets = np.array([0, 1, 4])
+        out = segment_sum(values, offsets)
+        (out * Tensor(np.array([[1.0, 1.0], [3.0, 3.0]]))).sum().backward()
+        np.testing.assert_array_equal(
+            values.grad, [[1.0, 1.0], [3.0, 3.0], [3.0, 3.0], [3.0, 3.0]]
+        )
+
+    def test_segment_mean_gradient_scales_by_inverse_length(self):
+        values = Tensor(np.ones((4, 1)), requires_grad=True)
+        offsets = np.array([0, 4])
+        segment_mean(values, offsets).sum().backward()
+        np.testing.assert_allclose(values.grad, np.full((4, 1), 0.25))
+
+    def test_segment_sum_rejects_bad_offsets(self):
+        data = Tensor(np.ones((4, 2)))
+        with pytest.raises(ValueError):
+            segment_sum(data, np.array([0, 2]))  # does not cover all rows
+
+
+class TestPrecomputedPoolingAux:
+    def test_dataset_batches_carry_inverse_counts(self, featurizer_parts, workload_queries):
+        featurizer = make_featurizer(featurizer_parts, FeaturizationVariant.NO_SAMPLES)
+        dataset = featurizer.featurize_dataset(workload_queries)
+        batch = dataset.batch(np.arange(8))
+        assert batch.table_inv_counts is not None
+        counts = np.maximum(batch.table_mask.sum(axis=1, keepdims=True), 1.0)
+        np.testing.assert_array_equal(batch.table_inv_counts, 1.0 / counts)
+
+    def test_precomputed_counts_do_not_change_predictions(
+        self, featurizer_parts, workload_queries
+    ):
+        """forward_batch over a dataset batch (with cached reciprocal counts)
+        is bit-identical to a freshly collated batch (without them)."""
+        featurizer = make_featurizer(featurizer_parts, FeaturizationVariant.BITMAPS)
+        model = make_model(featurizer)
+        dataset = featurizer.featurize_dataset(workload_queries)
+        legacy_batch = collate(featurizer.featurize_many(workload_queries))
+        assert legacy_batch.table_inv_counts is None
+        with no_grad():
+            with_aux = model.forward_batch(dataset.batch()).numpy()
+            without_aux = model.forward_batch(legacy_batch).numpy()
+        np.testing.assert_array_equal(with_aux, without_aux)
+
+
+class TestServingConsistency:
+    def test_fused_and_padded_paths_agree_in_float64(
+        self, tiny_database, tiny_samples, tiny_workload
+    ):
+        """estimate_many through the fused ragged engine is bit-identical to
+        the legacy padded no_grad path when both run in float64."""
+        config = MSCNConfig(
+            hidden_units=24, epochs=8, batch_size=32, num_samples=50, seed=17,
+            dtype="float64",
+        )
+        estimator = MSCNEstimator(tiny_database, config, samples=tiny_samples)
+        estimator.fit(tiny_workload)
+        queries = [labelled.query for labelled in tiny_workload]
+        fused = estimator.estimate_many(queries)
+        padded_dataset = estimator.featurizer.featurize_dataset(queries)
+        legacy = estimator._trainer.predict(padded_dataset, fused=False)
+        np.testing.assert_array_equal(fused, legacy)

@@ -95,3 +95,36 @@ class TestConvergence:
         (parameter * 2).sum().backward()
         optimizer.zero_grad()
         assert parameter.grad is None
+
+
+class TestInPlaceUpdates:
+    """Optimizer steps update parameter buffers strictly in place, so
+    references held elsewhere (the fused inference engine, moment buffers)
+    never go stale and steps allocate no new parameter arrays."""
+
+    @pytest.mark.parametrize("optimizer_name", ["sgd", "sgd_momentum", "adam"])
+    def test_parameter_buffer_identity_is_stable_across_steps(self, optimizer_name):
+        parameter = Tensor(np.array([10.0, -4.0]), requires_grad=True)
+        if optimizer_name == "sgd":
+            optimizer = SGD([parameter], learning_rate=0.1)
+        elif optimizer_name == "sgd_momentum":
+            optimizer = SGD([parameter], learning_rate=0.05, momentum=0.9)
+        else:
+            optimizer = Adam([parameter], learning_rate=0.3)
+        buffer = parameter.data
+        values_before = buffer.copy()
+        for _ in range(5):
+            optimizer.zero_grad()
+            quadratic_loss(parameter).backward()
+            optimizer.step()
+        assert parameter.data is buffer, "step() rebound the parameter array"
+        assert not np.array_equal(buffer, values_before), "step() did not update values"
+
+    def test_in_place_adam_converges_like_before(self):
+        parameter = Tensor(np.array([10.0, -4.0]), requires_grad=True)
+        optimizer = Adam([parameter], learning_rate=0.3)
+        for _ in range(200):
+            optimizer.zero_grad()
+            quadratic_loss(parameter).backward()
+            optimizer.step()
+        np.testing.assert_allclose(parameter.numpy(), [3.0, 3.0], atol=1e-2)
