@@ -27,6 +27,11 @@ contribution:
     Index-Based Join Sampling, plus a true-cardinality oracle.
 ``repro.evaluation``
     Q-error metrics, workload runners and paper-style report formatting.
+``repro.serving``
+    The traffic-facing estimation service: signature-keyed result caching,
+    micro-batch coalescing of concurrent callers, uncertainty-routed fallback
+    to traditional estimators and a versioned model registry with atomic
+    hot-swap.
 """
 
 from repro.core.estimator import MSCNEstimator
@@ -36,6 +41,7 @@ from repro.db.schema import Schema, TableSchema, ColumnSchema, ForeignKey
 from repro.db.table import Database, Table
 from repro.datasets.imdb import SyntheticIMDbConfig, generate_imdb
 from repro.evaluation.metrics import QErrorSummary, q_error, summarize_q_errors
+from repro.serving import EstimationService, ModelRegistry, ServiceConfig
 from repro.workload.generator import QueryGenerator, WorkloadConfig
 
 __version__ = "1.0.0"
@@ -60,5 +66,8 @@ __all__ = [
     "summarize_q_errors",
     "QueryGenerator",
     "WorkloadConfig",
+    "EstimationService",
+    "ServiceConfig",
+    "ModelRegistry",
     "__version__",
 ]

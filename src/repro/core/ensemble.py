@@ -87,10 +87,48 @@ class EnsembleMSCNEstimator(CardinalityEstimator):
             self.members.append(member)
         self.name = f"MSCN ensemble ({num_members} members)"
 
+    @property
+    def samples(self) -> MaterializedSamples | None:
+        """The sample set shared by every member (bitmap-cache accounting)."""
+        return self.members[0].samples
+
     # ------------------------------------------------------------------
     def fit(self, training_queries: list[LabelledQuery]) -> list[TrainingResult]:
-        """Train every member on the same labelled queries."""
-        return [member.fit(training_queries) for member in self.members]
+        """Train every member on the same labelled queries.
+
+        All members share one sample set, encoding and compute dtype, so the
+        (identical) featurizations are computed exactly once: the workload is
+        split and featurized up front and the ragged datasets are handed to
+        every member, mirroring the serving side's one-shot featurization.
+        Members still differ in weight initialization and shuffling (their
+        seeds), which is the deep-ensembles recipe.
+        """
+        lead = self.members[0]
+        train_queries, validation_queries = lead._split_validation(training_queries)
+        train_cardinalities = np.array(
+            [q.cardinality for q in train_queries], dtype=np.float64
+        )
+        train_dataset = lead.featurizer.featurize_ragged(
+            [q.query for q in train_queries], cardinalities=train_cardinalities
+        )
+        validation_dataset = None
+        if validation_queries:
+            validation_cardinalities = np.array(
+                [q.cardinality for q in validation_queries], dtype=np.float64
+            )
+            validation_dataset = lead.featurizer.featurize_ragged(
+                [q.query for q in validation_queries],
+                cardinalities=validation_cardinalities,
+            )
+        return [
+            member.fit(
+                train_queries,
+                validation_queries,
+                train_dataset=train_dataset,
+                validation_dataset=validation_dataset,
+            )
+            for member in self.members
+        ]
 
     def estimate_with_uncertainty(self, query: Query) -> EnsembleEstimate:
         """Ensemble estimate plus the member disagreement for one query."""
@@ -98,6 +136,35 @@ class EnsembleMSCNEstimator(CardinalityEstimator):
 
     def estimate(self, query: Query) -> float:
         return self.estimate_with_uncertainty(query).cardinality
+
+    def serving_dataset(self, queries: list[Query]):
+        """Featurize serving traffic once for all members (shared layout)."""
+        return self.members[0].serving_dataset(queries)
+
+    def estimate_featurized(self, features) -> np.ndarray:
+        """Geometric-mean ensemble estimates for a pre-featurized workload."""
+        cardinalities, _, _ = self.estimate_featurized_with_uncertainty(features)
+        return cardinalities
+
+    def estimate_featurized_with_uncertainty(
+        self, features
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Ensemble estimates and spreads for a pre-featurized workload.
+
+        Returns ``(cardinalities, spreads, per_member)``: the geometric-mean
+        estimates (>= 1), the per-query maximum pairwise member q-error (the
+        uncertainty signal, >= 1), and the raw ``(num_members, num_queries)``
+        member estimates.  This is the vectorized form the serving layer uses
+        to route low-confidence queries to a fallback estimator without
+        featurizing the workload more than once.
+        """
+        per_member = np.vstack(
+            [member.estimate_featurized(features) for member in self.members]
+        )
+        clamped = np.maximum(per_member, 1.0)
+        cardinalities = np.maximum(np.exp(np.mean(np.log(clamped), axis=0)), 1.0)
+        spreads = clamped.max(axis=0) / clamped.min(axis=0)
+        return cardinalities, spreads, per_member
 
     def estimate_many_with_uncertainty(self, queries: list[Query]) -> list[EnsembleEstimate]:
         """Vectorized ensemble estimates (one member forward pass per model).
@@ -108,14 +175,13 @@ class EnsembleMSCNEstimator(CardinalityEstimator):
         """
         if not queries:
             return []
-        shared_dataset = self.members[0].serving_dataset(queries)
-        per_member = np.vstack(
-            [member.estimate_featurized(shared_dataset) for member in self.members]
+        shared_dataset = self.serving_dataset(queries)
+        cardinalities, _, per_member = self.estimate_featurized_with_uncertainty(
+            shared_dataset
         )
-        geometric_means = np.exp(np.mean(np.log(np.maximum(per_member, 1.0)), axis=0))
         return [
             EnsembleEstimate(
-                cardinality=float(max(geometric_means[index], 1.0)),
+                cardinality=float(cardinalities[index]),
                 member_estimates=tuple(float(value) for value in per_member[:, index]),
             )
             for index in range(len(queries))

@@ -107,6 +107,9 @@ class MSCNEstimator:
         training_queries: list[LabelledQuery],
         validation_queries: list[LabelledQuery] | None = None,
         epochs: int | None = None,
+        *,
+        train_dataset=None,
+        validation_dataset=None,
     ) -> TrainingResult:
         """Train the model on labelled queries.
 
@@ -114,9 +117,21 @@ class MSCNEstimator:
         ``validation_fraction`` of the training queries is held out (the paper
         uses a 90/10 split) and used to record the per-epoch validation mean
         q-error.
+
+        ``train_dataset``/``validation_dataset`` optionally supply the ragged
+        featurizations of the (already split) query lists, letting callers
+        that train several models on one workload — ensembles, registries —
+        featurize it once.  A precomputed ``train_dataset`` therefore requires
+        explicit ``validation_queries`` (possibly empty): the estimator must
+        not re-split queries the dataset is already aligned with.
         """
         if not training_queries:
             raise ValueError("fit() requires at least one training query")
+        if train_dataset is not None and validation_queries is None:
+            raise ValueError(
+                "a precomputed train_dataset requires explicit validation_queries; "
+                "the estimator cannot re-split an already-featurized workload"
+            )
         if validation_queries is None:
             training_queries, validation_queries = self._split_validation(training_queries)
 
@@ -135,19 +150,22 @@ class MSCNEstimator:
         # Training and validation are featurized straight into the ragged
         # layout: the trainer's minibatch gathers and the fused validation
         # predictions never touch padded tensors.
-        train_dataset = self.featurizer.featurize_ragged(
-            [q.query for q in training_queries], cardinalities=train_cardinalities
-        )
-        validation_dataset = None
+        if train_dataset is None:
+            train_dataset = self.featurizer.featurize_ragged(
+                [q.query for q in training_queries], cardinalities=train_cardinalities
+            )
         validation_cardinalities = None
         if validation_queries:
             validation_cardinalities = np.array(
                 [q.cardinality for q in validation_queries], dtype=np.float64
             )
-            validation_dataset = self.featurizer.featurize_ragged(
-                [q.query for q in validation_queries],
-                cardinalities=validation_cardinalities,
-            )
+            if validation_dataset is None:
+                validation_dataset = self.featurizer.featurize_ragged(
+                    [q.query for q in validation_queries],
+                    cardinalities=validation_cardinalities,
+                )
+        else:
+            validation_dataset = None
         self.training_result = self._trainer.train(
             train_dataset,
             train_cardinalities,

@@ -69,10 +69,21 @@ class InferenceEngine:
         (the common serving case: in-place optimizer updates never rebind the
         parameter buffers), ``ascontiguousarray`` is a no-copy pass-through
         and refreshing is essentially free.
+
+        The new snapshot is built off-lock and swapped in under ``_run_lock``,
+        so an in-flight :meth:`run` on another thread never observes a
+        partially swapped layer set: it computes either fully against the old
+        snapshot or fully against the new one.  Note the no-copy pass-through
+        means a snapshot may alias the live parameter buffers — the engine
+        does not synchronize against *in-place mutation* of those buffers
+        (e.g. optimizer steps) concurrent with serving.  Separate training
+        from serving in time, or serve a distinct model object and replace it
+        wholesale (the model-registry hot-swap pattern), which is safe because
+        a retired model's buffers are never written again.
         """
         model = self.model
         dtype = self.dtype
-        self._layers = {
+        layers = {
             "table1": _FusedLinear(model.table_mlp.first, dtype),
             "table2": _FusedLinear(model.table_mlp.second, dtype),
             "join1": _FusedLinear(model.join_mlp.first, dtype),
@@ -82,6 +93,8 @@ class InferenceEngine:
             "hidden": _FusedLinear(model.output_hidden, dtype),
             "final": _FusedLinear(model.output_final, dtype),
         }
+        with self._run_lock:
+            self._layers = layers
 
     def _buffer(self, name: str, rows: int, cols: int) -> np.ndarray:
         """A ``(rows, cols)`` scratch view into a grow-only cached buffer."""

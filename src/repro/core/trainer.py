@@ -192,12 +192,19 @@ class MSCNTrainer:
         ``fused`` overrides ``config.fused_inference``: ``True`` runs the
         graph-free engine over the ragged layout, ``False`` the legacy padded
         autograd path under ``no_grad()``.
+
+        Predictions are always returned as float64, whatever the engine's
+        compute dtype: downstream consumers (denormalization, q-error metrics,
+        result caches) hold float64 cardinalities, and a float32 array leaking
+        out of the fused path would silently change their precision.
         """
         use_fused = self.config.fused_inference if fused is None else fused
         batch_size = batch_size if batch_size is not None else self.config.batch_size
         if use_fused:
-            return self._predict_normalized_fused(features, batch_size)
-        return self._predict_normalized_padded(features, batch_size)
+            normalized = self._predict_normalized_fused(features, batch_size)
+        else:
+            normalized = self._predict_normalized_padded(features, batch_size)
+        return np.asarray(normalized, dtype=np.float64)
 
     def _predict_normalized_fused(self, features: FeatureInput, batch_size: int) -> np.ndarray:
         if not isinstance(features, RaggedDataset) and not features:

@@ -182,16 +182,26 @@ class Query:
         return sql + ";"
 
     def signature(self) -> tuple:
-        """A hashable, order-independent identity used for de-duplication."""
-        return (
-            tuple(sorted(self.tables)),
-            tuple(sorted(join.canonical for join in self.joins)),
-            tuple(
-                sorted(
-                    (p.table, p.column, p.operator.value, p.value) for p in self.predicates
-                )
-            ),
-        )
+        """A hashable, order-independent identity used for de-duplication.
+
+        Memoized: queries are immutable, and serving-path consumers (the
+        result cache, workload de-duplication) canonicalize the same query
+        object repeatedly — the sort work should be paid once.
+        """
+        cached = self.__dict__.get("_signature")
+        if cached is None:
+            cached = (
+                tuple(sorted(self.tables)),
+                tuple(sorted(join.canonical for join in self.joins)),
+                tuple(
+                    sorted(
+                        (p.table, p.column, p.operator.value, p.value)
+                        for p in self.predicates
+                    )
+                ),
+            )
+            object.__setattr__(self, "_signature", cached)
+        return cached
 
 
 def queries_are_duplicates(first: Query, second: Query) -> bool:

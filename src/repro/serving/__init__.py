@@ -1,0 +1,36 @@
+"""Concurrency-safe estimation serving (the deployment layer of Section 5).
+
+The paper argues that a learned estimator is only useful inside a query
+optimizer if it is cheap *per call* and knows when not to trust itself.  This
+package turns the fused inference engine of ``repro.core`` into a service:
+
+``repro.serving.service``
+    :class:`EstimationService` — a thread-safe front-end that canonicalizes
+    queries into an LRU result cache, coalesces concurrent callers into
+    micro-batches feeding one fused pass, and routes low-confidence queries
+    (high ensemble spread, out-of-range join counts) to a traditional
+    fallback estimator.
+``repro.serving.cache``
+    :class:`ResultCache` — the signature-keyed LRU with hit/miss/eviction
+    accounting.
+``repro.serving.registry``
+    :class:`ModelRegistry` — named, versioned model persistence with
+    atomically updated "current" pointers, feeding the service's hot-swap.
+``repro.serving.stats``
+    :class:`ServiceStats` — an extended :class:`~repro.core.estimator.
+    PredictionTiming` snapshot (cache hit rate, batch-size histogram,
+    per-stage latency, fallback rate).
+"""
+
+from repro.serving.cache import ResultCache
+from repro.serving.registry import ModelRegistry
+from repro.serving.service import EstimationService, ServiceConfig
+from repro.serving.stats import ServiceStats
+
+__all__ = [
+    "EstimationService",
+    "ServiceConfig",
+    "ModelRegistry",
+    "ResultCache",
+    "ServiceStats",
+]

@@ -1,0 +1,100 @@
+"""A thread-safe LRU cache of estimation results.
+
+Serving traffic inside a query optimizer is heavily repetitive: the same
+(sub)queries are costed over and over across plan enumerations.  The cache
+keys on :meth:`repro.db.query.Query.signature` — the order-independent
+canonical identity — so semantically identical queries that list their
+tables, joins or predicates in different orders share one entry.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable
+
+__all__ = ["ResultCache"]
+
+_MISSING = object()
+
+
+class ResultCache:
+    """A bounded LRU mapping of query signatures to cardinality estimates.
+
+    All operations are guarded by one lock: lookups, inserts and the LRU
+    reordering are tiny next to a model forward pass, and a single lock keeps
+    the hit/miss/eviction counters exactly consistent with the contents.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Hashable, float] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable) -> float | None:
+        """The cached estimate for ``key``, recording a hit or a miss."""
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def peek(self, key: Hashable) -> float | None:
+        """Like :meth:`get` but without touching LRU order or counters.
+
+        Used by the batch worker to re-check freshly coalesced queries that a
+        concurrent batch may have just answered — those lookups are internal
+        plumbing, not request traffic, so they must not skew the hit rate.
+        """
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            return None if value is _MISSING else value
+
+    def put(self, key: Hashable, value: float) -> None:
+        """Insert (or refresh) an estimate, evicting the LRU entry if full."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
+            self._entries[key] = value
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (hot-swapping models invalidates all results)."""
+        with self._lock:
+            self._entries.clear()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return self.peek(key) is not None
+
+    @property
+    def hits(self) -> int:
+        with self._lock:
+            return self._hits
+
+    @property
+    def misses(self) -> int:
+        with self._lock:
+            return self._misses
+
+    @property
+    def evictions(self) -> int:
+        with self._lock:
+            return self._evictions

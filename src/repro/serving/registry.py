@@ -1,0 +1,120 @@
+"""Named, versioned persistence of trained estimators.
+
+:class:`ModelRegistry` wraps :meth:`MSCNEstimator.save`/:meth:`load` with the
+layout a serving deployment needs: every publish writes a new immutable
+version directory, and a tiny ``CURRENT`` pointer file — updated with an
+atomic ``os.replace`` — names the version serving traffic should use.
+Readers therefore never observe a half-written model: either the old pointer
+(old weights) or the new pointer (fully written new weights).
+
+Layout on disk::
+
+    <root>/<name>/versions/<n>/   # one MSCNEstimator.save() tree per publish
+    <root>/<name>/CURRENT         # text file holding the current version id
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shutil
+from pathlib import Path
+
+from repro.core.estimator import MSCNEstimator
+from repro.db.table import Database
+
+__all__ = ["ModelRegistry"]
+
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+class ModelRegistry:
+    """A directory of named, versioned MSCN models for one database snapshot."""
+
+    def __init__(self, root: str | os.PathLike, database: Database):
+        self.root = Path(root)
+        self.database = database
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_name(name: str) -> str:
+        if not _NAME_PATTERN.match(name):
+            raise ValueError(
+                f"invalid model name {name!r}; use letters, digits, '.', '_' or '-'"
+            )
+        return name
+
+    def _model_dir(self, name: str) -> Path:
+        return self.root / self._check_name(name)
+
+    def _version_dir(self, name: str, version: int) -> Path:
+        return self._model_dir(name) / "versions" / str(version)
+
+    # ------------------------------------------------------------------
+    def publish(self, name: str, estimator: MSCNEstimator) -> int:
+        """Persist ``estimator`` as the next version of ``name`` and point
+        ``CURRENT`` at it.  Returns the new version id."""
+        versions_root = self._model_dir(name) / "versions"
+        versions_root.mkdir(parents=True, exist_ok=True)
+        version = max(self.versions(name), default=0) + 1
+        final = versions_root / str(version)
+        staging = versions_root / f".staging-{version}-{os.getpid()}"
+        if staging.exists():
+            shutil.rmtree(staging)
+        try:
+            estimator.save(staging)
+            os.replace(staging, final)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        self._write_current(name, version)
+        return version
+
+    def _write_current(self, name: str, version: int) -> None:
+        pointer = self._model_dir(name) / "CURRENT"
+        staging = pointer.with_name(f".CURRENT.tmp-{os.getpid()}")
+        staging.write_text(f"{version}\n", encoding="utf-8")
+        os.replace(staging, pointer)
+
+    # ------------------------------------------------------------------
+    def names(self) -> list[str]:
+        """All model names with at least one published version."""
+        found = []
+        for entry in sorted(self.root.iterdir()):
+            if entry.is_dir() and (entry / "CURRENT").exists():
+                found.append(entry.name)
+        return found
+
+    def versions(self, name: str) -> list[int]:
+        """Published version ids of ``name``, ascending."""
+        versions_root = self._model_dir(name) / "versions"
+        if not versions_root.is_dir():
+            return []
+        found = []
+        for entry in versions_root.iterdir():
+            if entry.is_dir() and entry.name.isdigit():
+                found.append(int(entry.name))
+        return sorted(found)
+
+    def current_version(self, name: str) -> int:
+        """The version id ``CURRENT`` points at."""
+        pointer = self._model_dir(name) / "CURRENT"
+        if not pointer.exists():
+            raise KeyError(f"registry has no model named {name!r}")
+        return int(pointer.read_text(encoding="utf-8").strip())
+
+    def set_current(self, name: str, version: int) -> None:
+        """Atomically repoint ``CURRENT`` (e.g. rolling back a bad publish)."""
+        if version not in self.versions(name):
+            raise KeyError(f"model {name!r} has no version {version}")
+        self._write_current(name, version)
+
+    def load(self, name: str, version: int | None = None) -> MSCNEstimator:
+        """Load ``name`` at ``version`` (default: the ``CURRENT`` pointer)."""
+        if version is None:
+            version = self.current_version(name)
+        directory = self._version_dir(name, version)
+        if not directory.is_dir():
+            raise KeyError(f"model {name!r} has no version {version}")
+        return MSCNEstimator.load(directory, self.database)

@@ -1,0 +1,373 @@
+"""The micro-batched, cache-fronted estimation service.
+
+:class:`EstimationService` is the traffic-facing layer above the fused
+inference engine (Section 4.7's sub-millisecond serving path) and implements
+the deployment recipe of the paper's Section 5 discussion:
+
+* **Result caching** — queries are canonicalized via ``Query.signature()``
+  into a signature-keyed LRU, so the repetitive traffic an optimizer
+  generates (the same subqueries costed across plan enumerations) is
+  answered without touching the model at all.
+* **Micro-batch coalescing** — cache misses from concurrent callers are
+  queued and drained by a single batcher thread into one fused
+  ``estimate_featurized`` pass per micro-batch: set-wise MLPs and pooling
+  amortize across every in-flight request instead of running per caller.
+* **Uncertainty-routed fallback** — when the model is an
+  :class:`~repro.core.ensemble.EnsembleMSCNEstimator`, queries whose member
+  spread exceeds ``max_spread`` are out-of-distribution by the deep-ensembles
+  signal; those (and queries whose join count exceeds the trained
+  ``max_joins`` range) are re-estimated by a configurable traditional
+  :class:`~repro.estimators.base.CardinalityEstimator` (e.g. random sampling
+  or IBJS), exactly the hybrid the paper proposes.
+* **Atomic hot-swap** — :meth:`swap_model` replaces the serving model under
+  a lock, bumps a generation counter and clears the cache; an in-flight
+  micro-batch computed against the old model can never publish stale results
+  into the new model's cache.
+
+All public methods are safe to call from any number of threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.query import Query
+from repro.estimators.base import CardinalityEstimator
+from repro.serving.cache import ResultCache
+from repro.serving.stats import ServiceStats, StatsAccumulator
+
+__all__ = ["EstimationService", "ServiceConfig"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one :class:`EstimationService`.
+
+    ``batch_window_seconds`` bounds how long the batcher waits for more
+    concurrent callers before running a partially filled micro-batch; zero
+    disables the wait (lowest latency, least coalescing).  ``max_spread`` is
+    the ensemble-disagreement threshold above which a query is routed to the
+    fallback estimator; ``max_joins`` routes queries with more joins than the
+    model was trained on (``None`` disables join-count routing).
+    """
+
+    cache_capacity: int = 4096
+    max_batch_size: int = 1024
+    batch_window_seconds: float = 0.001
+    max_spread: float = 2.0
+    max_joins: int | None = None
+    request_timeout_seconds: float | None = 60.0
+
+    def __post_init__(self) -> None:
+        if self.cache_capacity <= 0:
+            raise ValueError("cache_capacity must be positive")
+        if self.max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if self.batch_window_seconds < 0:
+            raise ValueError("batch_window_seconds must be non-negative")
+        if self.max_spread < 1.0:
+            raise ValueError("max_spread is a q-error factor and must be >= 1")
+        if self.max_joins is not None and self.max_joins < 0:
+            raise ValueError("max_joins must be non-negative")
+
+
+class _Request:
+    """One caller's cache-missed queries plus the future carrying results."""
+
+    __slots__ = ("queries", "signatures", "future")
+
+    def __init__(self, queries: list[Query], signatures: list[tuple]):
+        self.queries = queries
+        self.signatures = signatures
+        self.future: Future = Future()
+
+
+class EstimationService:
+    """Serve cardinality estimates to concurrent callers.
+
+    Parameters
+    ----------
+    model:
+        The serving model — an :class:`~repro.core.estimator.MSCNEstimator`
+        or :class:`~repro.core.ensemble.EnsembleMSCNEstimator` (anything
+        providing ``serving_dataset`` + ``estimate_featurized``; uncertainty
+        routing additionally needs ``estimate_featurized_with_uncertainty``).
+    fallback:
+        Optional traditional estimator that answers low-confidence queries.
+        Without it, every query is answered by the model.
+    config:
+        A :class:`ServiceConfig`; defaults are sensible for tests and
+        examples.
+    """
+
+    def __init__(
+        self,
+        model,
+        *,
+        fallback: CardinalityEstimator | None = None,
+        config: ServiceConfig | None = None,
+    ):
+        self.config = config if config is not None else ServiceConfig()
+        self.fallback = fallback
+        self._model = model
+        self._generation = 0
+        self._model_lock = threading.Lock()
+        self._cache = ResultCache(self.config.cache_capacity)
+        self._stats = StatsAccumulator()
+        self._pending: deque[_Request] = deque()
+        self._pending_available = threading.Condition(threading.Lock())
+        self._closed = False
+        self._worker: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def estimate(self, query: Query) -> float:
+        """Estimated cardinality of one query (cached, coalesced, routed)."""
+        return float(self.estimate_many([query])[0])
+
+    def estimate_many(self, queries: list[Query]) -> np.ndarray:
+        """Estimated cardinalities for a list of queries.
+
+        Cache hits are answered inline; the misses are submitted to the
+        batcher as one request, where they coalesce with every other caller's
+        in-flight misses into shared fused passes.
+        """
+        if not queries:
+            return np.empty(0, dtype=np.float64)
+        signatures = [query.signature() for query in queries]
+        results = np.empty(len(queries), dtype=np.float64)
+        miss_positions: list[int] = []
+        hits = 0
+        for position, signature in enumerate(signatures):
+            cached = self._cache.get(signature)
+            if cached is None:
+                miss_positions.append(position)
+            else:
+                results[position] = cached
+                hits += 1
+        self._stats.record_lookups(hits, len(miss_positions))
+        if miss_positions:
+            request = _Request(
+                [queries[i] for i in miss_positions],
+                [signatures[i] for i in miss_positions],
+            )
+            self._enqueue(request)
+            results[miss_positions] = request.future.result(
+                timeout=self.config.request_timeout_seconds
+            )
+        return results
+
+    def stats(self) -> ServiceStats:
+        """An immutable snapshot of the service counters and latencies."""
+        return self._stats.snapshot(cache_evictions=self._cache.evictions)
+
+    @property
+    def model(self):
+        """The currently serving model."""
+        with self._model_lock:
+            return self._model
+
+    @property
+    def cache(self) -> ResultCache:
+        return self._cache
+
+    def swap_model(self, model) -> None:
+        """Atomically replace the serving model and invalidate the cache.
+
+        The generation bump and the cache clear happen under the model lock,
+        so a micro-batch computed against the old model (its generation no
+        longer matches) can never publish stale estimates afterwards.
+        """
+        with self._model_lock:
+            self._model = model
+            self._generation += 1
+            self._cache.clear()
+        self._stats.record_swap()
+
+    def swap_from_registry(self, registry, name: str, version: int | None = None) -> None:
+        """Hot-swap to a :class:`~repro.serving.registry.ModelRegistry` model."""
+        self.swap_model(registry.load(name, version))
+
+    def close(self) -> None:
+        """Drain pending requests, stop the batcher thread and reject new work."""
+        with self._pending_available:
+            self._closed = True
+            self._pending_available.notify_all()
+        if self._worker is not None:
+            self._worker.join(timeout=10.0)
+
+    def __enter__(self) -> "EstimationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Batching worker
+    # ------------------------------------------------------------------
+    def _enqueue(self, request: _Request) -> None:
+        self._ensure_worker()
+        with self._pending_available:
+            if self._closed:
+                raise RuntimeError("the estimation service has been closed")
+            self._pending.append(request)
+            self._pending_available.notify()
+
+    def _ensure_worker(self) -> None:
+        if self._worker is not None:
+            return
+        with self._pending_available:
+            if self._worker is None and not self._closed:
+                worker = threading.Thread(
+                    target=self._worker_loop,
+                    name="estimation-service-batcher",
+                    daemon=True,
+                )
+                self._worker = worker
+                worker.start()
+
+    def _worker_loop(self) -> None:
+        while True:
+            requests = self._next_batch()
+            if requests is None:
+                return
+            self._process(requests)
+
+    def _next_batch(self) -> list[_Request] | None:
+        """Block for work, then coalesce concurrent requests into one batch.
+
+        After the first request arrives the batcher keeps the window open for
+        ``batch_window_seconds`` (or until ``max_batch_size`` queries are
+        pending), so bursts from many threads drain as a handful of fused
+        passes instead of one pass per caller.
+        """
+        with self._pending_available:
+            while not self._pending and not self._closed:
+                self._pending_available.wait()
+            if not self._pending:
+                return None  # closed and drained
+            deadline = time.monotonic() + self.config.batch_window_seconds
+            while not self._closed:
+                if sum(len(r.queries) for r in self._pending) >= self.config.max_batch_size:
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._pending_available.wait(remaining)
+            requests: list[_Request] = []
+            quota = self.config.max_batch_size
+            while self._pending and quota > 0:
+                request = self._pending.popleft()
+                requests.append(request)
+                quota -= len(request.queries)
+            return requests
+
+    def _process(self, requests: list[_Request]) -> None:
+        """Answer a coalesced batch: dedupe, one fused pass, scatter, cache."""
+        try:
+            unique: dict[tuple, Query] = {}
+            for request in requests:
+                for query, signature in zip(request.queries, request.signatures):
+                    unique.setdefault(signature, query)
+            resolved: dict[tuple, float] = {}
+            to_compute: list[tuple[tuple, Query]] = []
+            for signature, query in unique.items():
+                # A concurrent batch (or a swap-preceding batch) may have
+                # answered this signature since the caller's miss; peek so
+                # these internal probes don't skew the request hit rate.
+                cached = self._cache.peek(signature)
+                if cached is None:
+                    to_compute.append((signature, query))
+                else:
+                    resolved[signature] = cached
+            if to_compute:
+                estimates, generation = self._compute([q for _, q in to_compute])
+                fresh = {
+                    signature: float(value)
+                    for (signature, _), value in zip(to_compute, estimates)
+                }
+                resolved.update(fresh)
+                self._publish(fresh, generation)
+            for request in requests:
+                request.future.set_result(
+                    np.array(
+                        [resolved[s] for s in request.signatures], dtype=np.float64
+                    )
+                )
+        except BaseException as error:  # noqa: BLE001 — must reach the callers
+            for request in requests:
+                if not request.future.done():
+                    request.future.set_exception(error)
+
+    def _publish(self, fresh: dict[tuple, float], generation: int) -> None:
+        """Insert computed estimates, unless the model was swapped meanwhile."""
+        with self._model_lock:
+            if generation != self._generation:
+                return
+            for signature, value in fresh.items():
+                self._cache.put(signature, value)
+
+    # ------------------------------------------------------------------
+    # Model execution
+    # ------------------------------------------------------------------
+    def _compute(self, queries: list[Query]) -> tuple[np.ndarray, int]:
+        """One fused featurize+infer pass plus fallback routing.
+
+        Returns the estimates and the model generation they were computed
+        under (for the stale-publish guard).
+        """
+        with self._model_lock:
+            model = self._model
+            generation = self._generation
+        samples = getattr(model, "samples", None)
+        hits_before = samples.bitmap_cache_hits if samples is not None else 0
+        start = time.perf_counter()
+        dataset = model.serving_dataset(queries)
+        featurization_seconds = time.perf_counter() - start
+        hits_after = samples.bitmap_cache_hits if samples is not None else 0
+
+        start = time.perf_counter()
+        spreads = None
+        if hasattr(model, "estimate_featurized_with_uncertainty"):
+            estimates, spreads, _ = model.estimate_featurized_with_uncertainty(dataset)
+        else:
+            estimates = model.estimate_featurized(dataset)
+        inference_seconds = time.perf_counter() - start
+        estimates = np.array(estimates, dtype=np.float64)
+        self._stats.record_batch(
+            batch_size=len(queries),
+            featurization_seconds=featurization_seconds,
+            inference_seconds=inference_seconds,
+            bitmap_cache_hits=hits_after - hits_before,
+        )
+
+        if self.fallback is not None:
+            routed = self._route_to_fallback(queries, spreads)
+            if routed.any():
+                routed_queries = [q for q, r in zip(queries, routed) if r]
+                start = time.perf_counter()
+                estimates[routed] = self.fallback.estimate_many(routed_queries)
+                self._stats.record_fallback(
+                    len(routed_queries), time.perf_counter() - start
+                )
+        return estimates, generation
+
+    def _route_to_fallback(
+        self, queries: list[Query], spreads: np.ndarray | None
+    ) -> np.ndarray:
+        """Which queries the model should not be trusted on (Section 5)."""
+        routed = np.zeros(len(queries), dtype=bool)
+        if self.config.max_joins is not None:
+            routed |= np.array(
+                [query.num_joins > self.config.max_joins for query in queries]
+            )
+        if spreads is not None:
+            routed |= np.asarray(spreads) > self.config.max_spread
+        return routed

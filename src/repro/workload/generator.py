@@ -83,6 +83,15 @@ class QueryGenerator:
         self._executor = CardinalityExecutor(database)
         self._rng = spawn_rng(self.config.seed, "query-generator")
         self._join_graph_tables = self.schema.tables_in_join_graph() or self.schema.table_names
+        self._component_sizes = self._join_component_sizes()
+        # A join tree with k joins needs k + 1 tables inside one connected
+        # component, so the largest component bounds the satisfiable draw.
+        self._max_supported_joins = max(self._component_sizes.values()) - 1
+        if self.config.min_joins > self._max_supported_joins:
+            raise ValueError(
+                f"the join graph supports at most {self._max_supported_joins} joins "
+                f"per query, so min_joins={self.config.min_joins} cannot be satisfied"
+            )
 
     # ------------------------------------------------------------------
     def generate(self, num_queries: int | None = None) -> list[LabelledQuery]:
@@ -116,25 +125,63 @@ class QueryGenerator:
         return labelled
 
     # ------------------------------------------------------------------
+    def _join_component_sizes(self) -> dict[str, int]:
+        """Size of each table's connected component in the join graph."""
+        sizes: dict[str, int] = {}
+        for table in self._join_graph_tables:
+            if table in sizes:
+                continue
+            component = {table}
+            frontier = [table]
+            while frontier:
+                for neighbour in self.schema.joinable_tables(frontier.pop()):
+                    if neighbour not in component:
+                        component.add(neighbour)
+                        frontier.append(neighbour)
+            for member in component:
+                sizes[member] = len(component)
+        return sizes
+
     def _draw_query(self) -> Query:
-        num_joins = int(self._rng.integers(self.config.min_joins, self.config.max_joins + 1))
+        # Clamp the upper bound to what the join graph can actually connect;
+        # drawing an unreachable count would silently shrink the join tree and
+        # skew the per-join-count buckets of the generated workload.
+        upper = min(self.config.max_joins, self._max_supported_joins)
+        num_joins = int(self._rng.integers(self.config.min_joins, upper + 1))
         tables, joins = self._draw_join_tree(num_joins)
         predicates = self._draw_predicates(tables)
         return Query(tables=tuple(tables), joins=tuple(joins), predicates=tuple(predicates))
 
     def _draw_join_tree(self, num_joins: int) -> tuple[list[str], list[JoinCondition]]:
-        start = str(self._rng.choice(self._join_graph_tables))
-        tables = [start]
-        joins: list[JoinCondition] = []
-        for _ in range(num_joins):
-            candidates = self._joinable_candidates(tables)
-            if not candidates:
-                break
-            new_table, anchor = candidates[int(self._rng.integers(len(candidates)))]
-            edge = self.schema.join_edge_between(anchor, new_table)
-            joins.append(JoinCondition.from_foreign_key(edge))
-            tables.append(new_table)
-        return tables, joins
+        # Only tables whose component holds at least ``num_joins + 1`` tables
+        # can seed a tree of the requested size; growth within a component
+        # never stalls (a connected component always has an edge from the
+        # current table set to the remaining tables), but a wrongly-sized
+        # start table would.  Resample among eligible starts defensively.
+        eligible = [
+            table
+            for table in self._join_graph_tables
+            if self._component_sizes[table] > num_joins
+        ]
+        while eligible:
+            position = int(self._rng.integers(len(eligible)))
+            start = str(eligible.pop(position))
+            tables = [start]
+            joins: list[JoinCondition] = []
+            for _ in range(num_joins):
+                candidates = self._joinable_candidates(tables)
+                if not candidates:
+                    break
+                new_table, anchor = candidates[int(self._rng.integers(len(candidates)))]
+                edge = self.schema.join_edge_between(anchor, new_table)
+                joins.append(JoinCondition.from_foreign_key(edge))
+                tables.append(new_table)
+            if len(joins) == num_joins:
+                return tables, joins
+        raise RuntimeError(
+            f"no start table can seed a join tree with {num_joins} joins; "
+            "the join graph cannot satisfy the configured join bounds"
+        )
 
     def _joinable_candidates(self, tables: list[str]) -> list[tuple[str, str]]:
         """(new_table, anchor_table) pairs reachable from the current table set."""

@@ -93,3 +93,55 @@ class TestEnsembleEstimator:
     def test_empty_query_list(self, trained_ensemble):
         assert trained_ensemble.estimate_many_with_uncertainty([]) == []
         assert trained_ensemble.estimate_many([]).size == 0
+
+    def test_fit_featurizes_the_workload_exactly_once(
+        self, tiny_database, tiny_samples, tiny_workload, monkeypatch
+    ):
+        """All members share one sample set and compute dtype, so the train
+        and validation featurizations are computed once and shared — not once
+        per member (the regression was 3x identical featurization work)."""
+        from repro.core.featurization import QueryFeaturizer
+
+        calls = {"count": 0}
+        original = QueryFeaturizer.featurize_ragged
+
+        def counting(self, *args, **kwargs):
+            calls["count"] += 1
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(QueryFeaturizer, "featurize_ragged", counting)
+        config = MSCNConfig(hidden_units=16, epochs=1, batch_size=32, num_samples=50, seed=31)
+        ensemble = EnsembleMSCNEstimator(
+            tiny_database, config, samples=tiny_samples, num_members=3
+        )
+        results = ensemble.fit(tiny_workload)
+        assert len(results) == 3
+        assert calls["count"] == 2  # one train + one validation featurization
+
+    def test_members_train_on_a_shared_validation_split(
+        self, tiny_database, tiny_samples, tiny_workload
+    ):
+        """The one-shot featurization implies one split: every member records
+        the same number of validation evaluations over the same held-out set."""
+        config = MSCNConfig(hidden_units=16, epochs=2, batch_size=32, num_samples=50, seed=31)
+        ensemble = EnsembleMSCNEstimator(
+            tiny_database, config, samples=tiny_samples, num_members=2
+        )
+        results = ensemble.fit(tiny_workload)
+        histories = [r.validation_q_error_history for r in results]
+        assert all(len(history) == 2 for history in histories)
+
+    def test_estimate_featurized_with_uncertainty_matches_query_path(
+        self, trained_ensemble, tiny_workload
+    ):
+        queries = [q.query for q in tiny_workload[:20]]
+        dataset = trained_ensemble.serving_dataset(queries)
+        cardinalities, spreads, per_member = (
+            trained_ensemble.estimate_featurized_with_uncertainty(dataset)
+        )
+        assert per_member.shape == (len(trained_ensemble.members), len(queries))
+        estimates = trained_ensemble.estimate_many_with_uncertainty(queries)
+        np.testing.assert_allclose(
+            cardinalities, [e.cardinality for e in estimates], rtol=1e-12
+        )
+        np.testing.assert_allclose(spreads, [e.spread for e in estimates], rtol=1e-12)

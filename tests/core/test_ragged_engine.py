@@ -14,6 +14,8 @@ The contracts under test:
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -156,6 +158,58 @@ class TestFloat64BitIdentity:
                 .reshape(-1)
             )
         np.testing.assert_array_equal(reference, engine.run(ragged))
+
+    def test_refresh_is_atomic_under_concurrent_runs(
+        self, featurizer_parts, workload_queries
+    ):
+        """A refresh racing concurrent runs must never produce a mixed-weight
+        forward pass: every run's output corresponds to exactly one of the
+        installed weight snapshots (the regression was refresh swapping the
+        layer snapshot while another thread was mid-run)."""
+        featurizer = make_featurizer(featurizer_parts, FeaturizationVariant.NO_SAMPLES)
+        model = make_model(featurizer)
+        ragged = featurizer.featurize_ragged(workload_queries[:16])
+        engine = InferenceEngine(model, dtype=np.float64)
+
+        state_a = {name: p.data.copy() for name, p in model.named_parameters()}
+        state_b = {name: p.data + 0.25 for name, p in model.named_parameters()}
+
+        def install(state):
+            for name, parameter in model.named_parameters():
+                # Rebind (don't mutate in place) so snapshots taken by an
+                # earlier refresh keep pointing at the earlier weights.
+                parameter.data = state[name].copy()
+            engine.refresh()
+
+        install(state_a)
+        reference_a = engine.run(ragged).copy()
+        install(state_b)
+        reference_b = engine.run(ragged).copy()
+        assert not np.array_equal(reference_a, reference_b)
+
+        stop = threading.Event()
+        torn_outputs: list[np.ndarray] = []
+
+        def reader():
+            while not stop.is_set():
+                output = engine.run(ragged)
+                if not (
+                    np.array_equal(output, reference_a)
+                    or np.array_equal(output, reference_b)
+                ):
+                    torn_outputs.append(output.copy())
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for _ in range(150):
+            install(state_a)
+            install(state_b)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert not torn_outputs, "a run observed a half-refreshed weight snapshot"
 
     def test_engine_refresh_tracks_weight_updates(self, featurizer_parts, workload_queries):
         featurizer = make_featurizer(featurizer_parts, FeaturizationVariant.NO_SAMPLES)
@@ -424,3 +478,30 @@ class TestServingConsistency:
         padded_dataset = estimator.featurizer.featurize_dataset(queries)
         legacy = estimator._trainer.predict(padded_dataset, fused=False)
         np.testing.assert_array_equal(fused, legacy)
+
+    def test_predictions_are_float64_regardless_of_compute_dtype(
+        self, tiny_database, tiny_samples, tiny_workload
+    ):
+        """The float32 engine computes in single precision internally, but
+        the prediction APIs hand callers float64 — the dtype the padded
+        serving path always returned (the regression was float32 arrays
+        leaking out of the fused path)."""
+        config = MSCNConfig(
+            hidden_units=16, epochs=2, batch_size=32, num_samples=50, seed=19,
+            dtype="float32",
+        )
+        estimator = MSCNEstimator(tiny_database, config, samples=tiny_samples)
+        estimator.fit(tiny_workload)
+        queries = [labelled.query for labelled in tiny_workload[:20]]
+        dataset = estimator.serving_dataset(queries)
+        # The engine itself stays in its compute dtype ...
+        assert estimator._trainer.engine().run(dataset).dtype == np.float32
+        # ... but every caller-facing boundary is float64, fused and padded.
+        assert estimator.estimate_many(queries).dtype == np.float64
+        assert estimator.predict_normalized(queries).dtype == np.float64
+        assert estimator.estimate_featurized(dataset).dtype == np.float64
+        padded = estimator.featurizer.featurize_dataset(queries)
+        assert estimator._trainer.predict(padded, fused=False).dtype == np.float64
+        estimates, timing = estimator.timed_estimate_many(queries)
+        assert estimates.dtype == np.float64
+        assert timing.num_queries == len(queries)

@@ -1,0 +1,108 @@
+"""Tests of the signature-keyed LRU result cache."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serving.cache import ResultCache
+
+
+class TestBasicOperations:
+    def test_miss_then_hit(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get("a") is None
+        cache.put("a", 42.0)
+        assert cache.get("a") == 42.0
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_put_refreshes_value(self):
+        cache = ResultCache(capacity=4)
+        cache.put("a", 1.0)
+        cache.put("a", 2.0)
+        assert cache.get("a") == 2.0
+        assert len(cache) == 1
+
+    def test_contains_and_len(self):
+        cache = ResultCache(capacity=4)
+        cache.put("a", 1.0)
+        assert "a" in cache
+        assert "b" not in cache
+        assert len(cache) == 1
+
+    def test_peek_does_not_touch_counters_or_order(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1.0)
+        cache.put("b", 2.0)
+        assert cache.peek("a") == 1.0
+        assert cache.peek("missing") is None
+        assert cache.hits == 0
+        assert cache.misses == 0
+        # "a" was peeked, not touched: it is still the LRU entry and evicts.
+        cache.put("c", 3.0)
+        assert "a" not in cache
+        assert "b" in cache
+
+    def test_clear(self):
+        cache = ResultCache(capacity=4)
+        cache.put("a", 1.0)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=0)
+
+
+class TestLRUEviction:
+    def test_evicts_least_recently_used(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1.0)
+        cache.put("b", 2.0)
+        cache.get("a")  # "a" is now the most recently used
+        cache.put("c", 3.0)
+        assert "a" in cache
+        assert "b" not in cache
+        assert cache.evictions == 1
+
+    def test_capacity_is_never_exceeded(self):
+        cache = ResultCache(capacity=3)
+        for index in range(10):
+            cache.put(index, float(index))
+        assert len(cache) == 3
+        assert cache.evictions == 7
+        assert all(index in cache for index in (7, 8, 9))
+
+
+class TestThreadSafety:
+    def test_concurrent_puts_and_gets_keep_invariants(self):
+        cache = ResultCache(capacity=16)
+        errors: list[BaseException] = []
+        lookups = [0] * 8
+
+        def worker(slot: int) -> None:
+            rng = np.random.default_rng(slot)
+            try:
+                for _ in range(500):
+                    key = int(rng.integers(0, 64))
+                    if rng.random() < 0.5:
+                        cache.put(key, float(key))
+                    else:
+                        value = cache.get(key)
+                        lookups[slot] += 1
+                        assert value is None or value == float(key)
+            except BaseException as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(slot,)) for slot in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 16
+        assert cache.hits + cache.misses == sum(lookups)

@@ -1,0 +1,133 @@
+"""Tests of the versioned model registry and service hot-swap."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import MSCNConfig
+from repro.core.estimator import MSCNEstimator
+from repro.serving import EstimationService, ModelRegistry
+
+
+@pytest.fixture(scope="module")
+def registry_estimators(tiny_database, tiny_samples, tiny_workload):
+    """Two differently seeded trained estimators (distinguishable estimates)."""
+    base = MSCNConfig(hidden_units=16, epochs=3, batch_size=32, num_samples=50)
+    first = MSCNEstimator(tiny_database, base.replace(seed=13), samples=tiny_samples)
+    first.fit(tiny_workload)
+    second = MSCNEstimator(tiny_database, base.replace(seed=14), samples=tiny_samples)
+    second.fit(tiny_workload)
+    return first, second
+
+
+class TestRegistry:
+    def test_publish_and_load_roundtrip_identical_estimates(
+        self, tmp_path, tiny_database, registry_estimators, tiny_workload
+    ):
+        first, _ = registry_estimators
+        queries = [labelled.query for labelled in tiny_workload[:25]]
+        registry = ModelRegistry(tmp_path / "models", tiny_database)
+        version = registry.publish("mscn", first)
+        assert version == 1
+        restored = registry.load("mscn")
+        np.testing.assert_allclose(
+            restored.estimate_many(queries), first.estimate_many(queries), rtol=1e-6
+        )
+
+    def test_publish_assigns_increasing_versions_and_moves_current(
+        self, tmp_path, tiny_database, registry_estimators
+    ):
+        first, second = registry_estimators
+        registry = ModelRegistry(tmp_path / "models", tiny_database)
+        assert registry.publish("mscn", first) == 1
+        assert registry.publish("mscn", second) == 2
+        assert registry.versions("mscn") == [1, 2]
+        assert registry.current_version("mscn") == 2
+        assert registry.names() == ["mscn"]
+
+    def test_set_current_rolls_back(
+        self, tmp_path, tiny_database, registry_estimators, tiny_workload
+    ):
+        first, second = registry_estimators
+        queries = [labelled.query for labelled in tiny_workload[:10]]
+        registry = ModelRegistry(tmp_path / "models", tiny_database)
+        registry.publish("mscn", first)
+        registry.publish("mscn", second)
+        registry.set_current("mscn", 1)
+        assert registry.current_version("mscn") == 1
+        np.testing.assert_allclose(
+            registry.load("mscn").estimate_many(queries),
+            first.estimate_many(queries),
+            rtol=1e-6,
+        )
+
+    def test_load_specific_version(
+        self, tmp_path, tiny_database, registry_estimators, tiny_workload
+    ):
+        first, second = registry_estimators
+        queries = [labelled.query for labelled in tiny_workload[:10]]
+        registry = ModelRegistry(tmp_path / "models", tiny_database)
+        registry.publish("mscn", first)
+        registry.publish("mscn", second)
+        np.testing.assert_allclose(
+            registry.load("mscn", version=1).estimate_many(queries),
+            first.estimate_many(queries),
+            rtol=1e-6,
+        )
+
+    def test_unknown_model_and_version_raise(self, tmp_path, tiny_database,
+                                             registry_estimators):
+        first, _ = registry_estimators
+        registry = ModelRegistry(tmp_path / "models", tiny_database)
+        with pytest.raises(KeyError):
+            registry.current_version("missing")
+        with pytest.raises(KeyError):
+            registry.load("missing")
+        registry.publish("mscn", first)
+        with pytest.raises(KeyError):
+            registry.load("mscn", version=7)
+        with pytest.raises(KeyError):
+            registry.set_current("mscn", 7)
+
+    def test_invalid_names_rejected(self, tmp_path, tiny_database):
+        registry = ModelRegistry(tmp_path / "models", tiny_database)
+        for name in ("", "../escape", "a/b", ".hidden"):
+            with pytest.raises(ValueError):
+                registry._check_name(name)
+
+
+class TestServiceHotSwap:
+    def test_swap_serves_new_model_and_clears_cache(
+        self, tmp_path, tiny_database, registry_estimators, tiny_workload
+    ):
+        first, second = registry_estimators
+        queries = [labelled.query for labelled in tiny_workload[:30]]
+        registry = ModelRegistry(tmp_path / "models", tiny_database)
+        registry.publish("mscn", first)
+        registry.publish("mscn", second)
+        with EstimationService(registry.load("mscn", version=1)) as service:
+            before = service.estimate_many(queries)
+            np.testing.assert_allclose(before, first.estimate_many(queries), rtol=1e-6)
+            assert len(service.cache) > 0
+
+            service.swap_from_registry(registry, "mscn")  # CURRENT is version 2
+            assert len(service.cache) == 0  # stale results were invalidated
+            after = service.estimate_many(queries)
+            np.testing.assert_allclose(after, second.estimate_many(queries), rtol=1e-6)
+            assert not np.allclose(before, after)
+            assert service.stats().model_swaps == 1
+
+    def test_roundtrip_through_registry_preserves_served_estimates(
+        self, tmp_path, tiny_database, registry_estimators, tiny_workload
+    ):
+        """save -> publish -> hot-swap -> identical estimates end to end."""
+        first, _ = registry_estimators
+        queries = [labelled.query for labelled in tiny_workload[:20]]
+        registry = ModelRegistry(tmp_path / "models", tiny_database)
+        registry.publish("mscn", first)
+        with EstimationService(first) as service:
+            direct = service.estimate_many(queries)
+            service.swap_from_registry(registry, "mscn")
+            reloaded = service.estimate_many(queries)
+        np.testing.assert_allclose(direct, reloaded, rtol=1e-6)

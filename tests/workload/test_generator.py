@@ -2,15 +2,63 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.db.executor import execute_cardinality
+from repro.db.schema import ColumnSchema, ForeignKey, Schema, TableSchema
+from repro.db.table import Database, Table
 from repro.workload.generator import (
     LabelledQuery,
     QueryGenerator,
     WorkloadConfig,
     split_by_joins,
 )
+
+
+@pytest.fixture(scope="module")
+def uneven_join_graph_database():
+    """A database whose join graph has two components of different sizes.
+
+    Component one is ``{a, b}`` (via ``b.a_id``), component two is
+    ``{c, d, e}`` (via ``d.c_id`` and ``e.d_id``).  A requested join count of
+    two is therefore only satisfiable when the join tree starts inside the
+    second component — exactly the situation where the generator used to
+    silently emit fewer joins than drawn.
+    """
+
+    def table_schema(name: str, fk_column: str | None) -> TableSchema:
+        columns = [ColumnSchema("id", "primary_key")]
+        if fk_column is not None:
+            columns.append(ColumnSchema(fk_column, "foreign_key"))
+        columns.append(ColumnSchema("value"))
+        return TableSchema(name=name, columns=tuple(columns))
+
+    schemas = {
+        "a": table_schema("a", None),
+        "b": table_schema("b", "a_id"),
+        "c": table_schema("c", None),
+        "d": table_schema("d", "c_id"),
+        "e": table_schema("e", "d_id"),
+    }
+    schema = Schema(
+        tables=tuple(schemas.values()),
+        foreign_keys=(
+            ForeignKey("b", "a_id", "a", "id"),
+            ForeignKey("d", "c_id", "c", "id"),
+            ForeignKey("e", "d_id", "d", "id"),
+        ),
+    )
+    rng = np.random.default_rng(0)
+    ids = np.arange(1, 13)
+    tables = {}
+    for name, table in schemas.items():
+        columns = {"id": ids.copy(), "value": rng.integers(0, 10, size=ids.size)}
+        for column in table.columns:
+            if column.name.endswith("_id"):
+                columns[column.name] = rng.choice(ids, size=ids.size)
+        tables[name] = Table(table, columns)
+    return Database(schema, tables)
 
 
 class TestConfig:
@@ -110,6 +158,57 @@ class TestGeneratorBehaviour:
         )
         with pytest.raises(RuntimeError):
             QueryGenerator(tiny_database, config).generate()
+
+
+class TestMinJoinsEnforcement:
+    def test_min_joins_is_always_honoured(self, uneven_join_graph_database):
+        """Every generated query carries at least ``min_joins`` joins, even
+        though most start tables cannot seed a two-join tree."""
+        config = WorkloadConfig(
+            num_queries=12, min_joins=2, max_joins=2, seed=3, skip_empty_results=False
+        )
+        workload = QueryGenerator(uneven_join_graph_database, config).generate()
+        assert all(labelled.num_joins == 2 for labelled in workload)
+        for labelled in workload:
+            assert set(labelled.query.tables) == {"c", "d", "e"}
+
+    def test_mixed_draws_only_use_eligible_start_tables(
+        self, uneven_join_graph_database
+    ):
+        config = WorkloadConfig(
+            num_queries=40, min_joins=1, max_joins=2, seed=4, skip_empty_results=False
+        )
+        workload = QueryGenerator(uneven_join_graph_database, config).generate()
+        assert all(labelled.num_joins >= 1 for labelled in workload)
+        buckets = split_by_joins(workload)
+        # Two-join trees exist and never leak out of the only component that
+        # can host them.
+        assert 2 in buckets
+        for labelled in buckets[2]:
+            assert set(labelled.query.tables) == {"c", "d", "e"}
+
+    def test_unsatisfiable_min_joins_raises(self, two_table_database):
+        # The dim-fact join graph supports at most one join per query.
+        config = WorkloadConfig(num_queries=5, min_joins=2, max_joins=3, seed=1)
+        with pytest.raises(ValueError, match="min_joins"):
+            QueryGenerator(two_table_database, config)
+
+    def test_unreachable_max_joins_is_clamped(self, two_table_database):
+        """A max_joins beyond the join graph's reach must not produce
+        undersized join trees — the draw range is clamped instead."""
+        config = WorkloadConfig(
+            num_queries=10, min_joins=1, max_joins=5, seed=2, skip_empty_results=False
+        )
+        workload = QueryGenerator(two_table_database, config).generate()
+        assert all(labelled.num_joins == 1 for labelled in workload)
+
+    def test_join_count_buckets_are_exact(self, tiny_database):
+        """split_by_joins buckets reflect the drawn join counts exactly (the
+        old early-break silently shifted queries into smaller buckets)."""
+        config = WorkloadConfig(num_queries=60, min_joins=1, max_joins=2, seed=21)
+        workload = QueryGenerator(tiny_database, config).generate()
+        assert set(split_by_joins(workload)) <= {1, 2}
+        assert all(labelled.num_joins >= 1 for labelled in workload)
 
 
 class TestSplitByJoins:
