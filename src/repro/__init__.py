@@ -40,6 +40,8 @@ from repro.db.query import Query, JoinCondition, Predicate
 from repro.db.schema import Schema, TableSchema, ColumnSchema, ForeignKey
 from repro.db.table import Database, Table
 from repro.datasets.imdb import SyntheticIMDbConfig, generate_imdb
+from repro.datasets.registry import dataset_names, get_dataset, register_dataset
+from repro.datasets.spec import DatasetSpec, WorkloadRecommendation
 from repro.evaluation.metrics import QErrorSummary, q_error, summarize_q_errors
 from repro.serving import EstimationService, ModelRegistry, ServiceConfig
 from repro.workload.generator import QueryGenerator, WorkloadConfig
@@ -61,6 +63,11 @@ __all__ = [
     "Table",
     "SyntheticIMDbConfig",
     "generate_imdb",
+    "DatasetSpec",
+    "WorkloadRecommendation",
+    "register_dataset",
+    "get_dataset",
+    "dataset_names",
     "QErrorSummary",
     "q_error",
     "summarize_q_errors",

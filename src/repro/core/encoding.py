@@ -3,9 +3,11 @@
 Section 3.1: each table and each join is represented by a unique one-hot
 vector; predicate columns and operators are one-hot encoded as well, and the
 predicate literal is appended as a value normalized to [0, 1] using the
-column's min/max.  The vocabularies are derived from the schema alone, so an
-unseen query can always be encoded as long as it references known schema
-objects.
+column's min/max.  The vocabularies are derived from the schema alone — the
+schema's declared table order, its foreign keys and its non-key columns; no
+dataset-specific constants — so an unseen query can always be encoded as
+long as it references known schema objects, and any registered
+:class:`~repro.datasets.spec.DatasetSpec` yields a valid encoding.
 """
 
 from __future__ import annotations
@@ -65,6 +67,20 @@ class SchemaEncoding:
     @property
     def num_operators(self) -> int:
         return len(self.operator_index)
+
+    def vocabulary_sizes(self) -> dict[str, int]:
+        """All vocabulary dimensions keyed by name.
+
+        These are exactly the quantities a schema determines: cross-schema
+        tests compare them against the spec's schema to prove the encoding
+        carries no hidden dataset assumptions.
+        """
+        return {
+            "tables": self.num_tables,
+            "joins": self.num_joins,
+            "columns": self.num_columns,
+            "operators": self.num_operators,
+        }
 
     # -- encoders --------------------------------------------------------
     def table_one_hot(self, table: str) -> np.ndarray:

@@ -19,6 +19,7 @@ and combines their predictions.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -137,7 +138,7 @@ class EnsembleMSCNEstimator(CardinalityEstimator):
     def estimate(self, query: Query) -> float:
         return self.estimate_with_uncertainty(query).cardinality
 
-    def serving_dataset(self, queries: list[Query]):
+    def serving_dataset(self, queries: Sequence[Query]):
         """Featurize serving traffic once for all members (shared layout)."""
         return self.members[0].serving_dataset(queries)
 
@@ -166,7 +167,7 @@ class EnsembleMSCNEstimator(CardinalityEstimator):
         spreads = clamped.max(axis=0) / clamped.min(axis=0)
         return cardinalities, spreads, per_member
 
-    def estimate_many_with_uncertainty(self, queries: list[Query]) -> list[EnsembleEstimate]:
+    def estimate_many_with_uncertainty(self, queries: Sequence[Query]) -> list[EnsembleEstimate]:
         """Vectorized ensemble estimates (one member forward pass per model).
 
         All members share the same samples, encoding and compute dtype, so the
@@ -187,7 +188,7 @@ class EnsembleMSCNEstimator(CardinalityEstimator):
             for index in range(len(queries))
         ]
 
-    def estimate_many(self, queries: list[Query]) -> np.ndarray:
+    def estimate_many(self, queries: Sequence[Query]) -> np.ndarray:
         return np.array(
             [e.cardinality for e in self.estimate_many_with_uncertainty(queries)],
             dtype=np.float64,

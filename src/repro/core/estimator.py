@@ -21,6 +21,7 @@ import json
 import os
 import time
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -201,7 +202,7 @@ class MSCNEstimator:
         """Estimated cardinality of a single query."""
         return float(self.estimate_many([query])[0])
 
-    def serving_dataset(self, queries: list[Query]):
+    def serving_dataset(self, queries: Sequence[Query]):
         """Featurize serving traffic in the layout the inference path wants.
 
         Public so ensembles (and other fan-out consumers) can featurize a
@@ -212,8 +213,8 @@ class MSCNEstimator:
             return self.featurizer.featurize_ragged(queries)
         return self.featurizer.featurize_dataset(queries)
 
-    def estimate_many(self, queries: list[Query]) -> np.ndarray:
-        """Estimated cardinalities for a list of queries.
+    def estimate_many(self, queries: Sequence[Query]) -> np.ndarray:
+        """Estimated cardinalities for a sequence of queries.
 
         Featurizes directly into the ragged layout (no padded tensors are
         materialized), reuses the shared bitmap cache, and runs the fused
@@ -234,7 +235,7 @@ class MSCNEstimator:
         """
         return self._require_trained().predict(features)
 
-    def timed_estimate_many(self, queries: list[Query]) -> tuple[np.ndarray, PredictionTiming]:
+    def timed_estimate_many(self, queries: Sequence[Query]) -> tuple[np.ndarray, PredictionTiming]:
         """Estimates plus a featurization/inference latency breakdown."""
         trainer = self._require_trained()
         hits_before = self.samples.bitmap_cache_hits if self.samples is not None else 0
@@ -255,7 +256,7 @@ class MSCNEstimator:
         )
         return estimates, timing
 
-    def predict_normalized(self, queries: list[Query]) -> np.ndarray:
+    def predict_normalized(self, queries: Sequence[Query]) -> np.ndarray:
         """Raw sigmoid outputs in [0, 1] (mostly useful for tests).
 
         Inference runs in ``config.batch_size`` chunks, so arbitrarily long

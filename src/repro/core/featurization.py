@@ -227,7 +227,7 @@ class QueryFeaturizer:
             else np.zeros((0, self.predicate_feature_width), dtype=dtype),
         )
 
-    def featurize_many(self, queries: list[Query]) -> list[FeaturizedQuery]:
+    def featurize_many(self, queries: Sequence[Query]) -> list[FeaturizedQuery]:
         return [self.featurize(query) for query in queries]
 
     # -- per-element vectors ---------------------------------------------

@@ -1,0 +1,58 @@
+"""Shared numeric helpers for the synthetic dataset generators.
+
+Every registered dataset plants the same *kinds* of structure — Zipf-skewed
+categorical values, Poisson fan-outs around attribute-dependent means, and
+leaky conditional draws that create join-crossing correlations — so the
+primitives live here and the per-dataset modules only express the shapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["zipf_choice", "fanout_counts", "sliced_choice"]
+
+
+def zipf_choice(
+    rng: np.random.Generator, population: int, count: int, exponent: float = 1.1
+) -> np.ndarray:
+    """Draw ``count`` ids from ``[1, population]`` with a Zipf-like skew."""
+    ranks = np.arange(1, population + 1, dtype=np.float64)
+    weights = 1.0 / ranks**exponent
+    weights /= weights.sum()
+    return rng.choice(population, size=count, p=weights).astype(np.int64) + 1
+
+
+def fanout_counts(rng: np.random.Generator, means: np.ndarray) -> np.ndarray:
+    """Per-parent fan-out counts with Poisson variation around ``means``."""
+    return rng.poisson(np.clip(means, 0.05, None)).astype(np.int64)
+
+
+def sliced_choice(
+    rng: np.random.Generator,
+    population: int,
+    slice_index: np.ndarray,
+    num_slices: int,
+    leak: float,
+    exponent: float = 1.1,
+) -> np.ndarray:
+    """Leaky slice-conditional ids: the join-crossing-correlation primitive.
+
+    The id space ``[1, population]`` is split into ``num_slices`` equal
+    windows.  Each row draws Zipf-skewed ids from the window named by its
+    ``slice_index`` (zero-based), except for a ``leak`` fraction of rows that
+    draw from the whole population — so a mismatched slice/attribute
+    combination keeps a small non-zero cardinality, which is exactly the
+    regime where independence-assuming estimators err by large factors
+    instead of the query being discarded as empty.
+    """
+    count = len(slice_index)
+    width = max(population // num_slices, 1)
+    ids = zipf_choice(rng, population, count, exponent=exponent)
+    conditional = rng.random(count) >= leak
+    if conditional.any():
+        within = zipf_choice(rng, width, int(conditional.sum()), exponent=exponent)
+        ids[conditional] = np.clip(
+            slice_index[conditional] * width + within, 1, population
+        )
+    return ids

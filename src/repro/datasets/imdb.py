@@ -37,11 +37,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.datasets._generation import fanout_counts as _fanout_counts
+from repro.datasets._generation import zipf_choice as _zipf_choice
+from repro.datasets.registry import register_dataset
+from repro.datasets.spec import DatasetSpec, WorkloadRecommendation
 from repro.db.schema import ColumnSchema, ForeignKey, Schema, TableSchema
 from repro.db.table import Database, Table
 from repro.utils.rng import spawn_rng
 
-__all__ = ["SyntheticIMDbConfig", "imdb_schema", "generate_imdb"]
+__all__ = ["SyntheticIMDbConfig", "imdb_schema", "generate_imdb", "IMDB_SPEC"]
 
 _MIN_YEAR = 1880
 _MAX_YEAR = 2019
@@ -158,21 +162,6 @@ def _skewed_years(rng: np.random.Generator, count: int) -> np.ndarray:
     fractions = rng.beta(5.0, 1.5, size=count)
     years = _MIN_YEAR + np.round(fractions * (_MAX_YEAR - _MIN_YEAR)).astype(np.int64)
     return np.clip(years, _MIN_YEAR, _MAX_YEAR)
-
-
-def _zipf_choice(
-    rng: np.random.Generator, population: int, count: int, exponent: float = 1.1
-) -> np.ndarray:
-    """Draw ``count`` ids from ``[1, population]`` with a Zipf-like skew."""
-    ranks = np.arange(1, population + 1, dtype=np.float64)
-    weights = 1.0 / ranks**exponent
-    weights /= weights.sum()
-    return rng.choice(population, size=count, p=weights).astype(np.int64) + 1
-
-
-def _fanout_counts(rng: np.random.Generator, means: np.ndarray) -> np.ndarray:
-    """Per-title fan-out counts with Poisson variation around ``means``."""
-    return rng.poisson(np.clip(means, 0.05, None)).astype(np.int64)
 
 
 def generate_imdb(config: SyntheticIMDbConfig | None = None) -> Database:
@@ -455,3 +444,30 @@ def _generate_movie_keyword(
             "keyword_id": keyword_id,
         },
     )
+
+
+def _generate_for_spec(scale: float, seed: int) -> Database:
+    return generate_imdb(SyntheticIMDbConfig(scale=scale, seed=seed))
+
+
+#: The registered spec of the paper's original evaluation schema: a star of
+#: five fact tables around ``title``, era/kind-conditioned fact attributes.
+IMDB_SPEC = register_dataset(
+    DatasetSpec(
+        name="imdb",
+        description=(
+            "JOB-light-style IMDb star: five fact tables around 'title' with "
+            "era- and kind-conditioned join-crossing correlations"
+        ),
+        topology="star",
+        schema_factory=imdb_schema,
+        generator=_generate_for_spec,
+        default_seed=42,
+        workload=WorkloadRecommendation(
+            max_joins=2,
+            scale_max_joins=4,
+            num_training_queries=3000,
+            num_eval_queries=500,
+        ),
+    )
+)

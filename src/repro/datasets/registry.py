@@ -1,0 +1,84 @@
+"""The dataset registry.
+
+Registered :class:`~repro.datasets.spec.DatasetSpec` instances are the only
+way the rest of the codebase discovers datasets; nothing outside
+:mod:`repro.datasets` may assume a particular schema.  The built-in datasets
+(IMDb star, retail star, forum snowflake) are registered lazily on first
+lookup, so both ``import repro.datasets`` and a direct
+``from repro.datasets.registry import get_dataset`` see them.
+"""
+
+from __future__ import annotations
+
+import importlib
+import threading
+
+from repro.datasets.spec import DatasetSpec
+
+__all__ = ["register_dataset", "get_dataset", "dataset_names", "registered_datasets"]
+
+_BUILTIN_MODULES = (
+    "repro.datasets.imdb",
+    "repro.datasets.retail",
+    "repro.datasets.forum",
+)
+
+_registry: dict[str, DatasetSpec] = {}
+# Reentrant: _ensure_builtins holds the lock while importing the built-in
+# modules, whose import-time register_dataset calls take it again.
+_lock = threading.RLock()
+_builtins_loaded = False
+
+
+def _ensure_builtins() -> None:
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    with _lock:
+        if _builtins_loaded:
+            return
+        for module_name in _BUILTIN_MODULES:
+            # Importing a dataset module triggers its register_dataset call.
+            importlib.import_module(module_name)
+        _builtins_loaded = True
+
+
+def register_dataset(spec: DatasetSpec, replace: bool = False) -> DatasetSpec:
+    """Register ``spec`` under ``spec.name``; returns the spec for chaining.
+
+    Re-registering the same spec object is a no-op (modules import once but
+    defensively call this); registering a *different* spec under an existing
+    name requires ``replace=True``.  Safe to call from any thread.
+    """
+    with _lock:
+        existing = _registry.get(spec.name)
+        if existing is not None and existing is not spec and not replace:
+            raise ValueError(f"dataset {spec.name!r} is already registered")
+        _registry[spec.name] = spec
+    return spec
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    """Look up a registered dataset spec by name."""
+    _ensure_builtins()
+    with _lock:
+        try:
+            return _registry[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown dataset {name!r}; registered: {', '.join(sorted(_registry))}"
+            ) from None
+
+
+def dataset_names() -> tuple[str, ...]:
+    """Names of all registered datasets, in registration order."""
+    _ensure_builtins()
+    with _lock:
+        return tuple(_registry)
+
+
+def registered_datasets() -> tuple[DatasetSpec, ...]:
+    """All registered dataset specs, in registration order."""
+    _ensure_builtins()
+    with _lock:
+        return tuple(_registry.values())

@@ -1,0 +1,361 @@
+"""Synthetic, correlated retail star schema (TPC-H/DS-flavoured).
+
+A single wide fact table ``sales`` references four skewed dimensions:
+
+* ``customers`` (segment_id, region_id, age_band)
+* ``products`` (category_id, brand_id, price_band)
+* ``stores`` (region_id, format_id)
+* ``calendar`` (month, week, is_holiday)
+
+Compared to the IMDb schema — where the hub ``title`` is the *dimension* and
+the satellites are facts — the hub here is the fact table, so every join
+fans *in*: dimension predicates restrict huge slices of ``sales``, and the
+fan-out per dimension row is Zipf-skewed (a few whale customers and hit
+products account for most rows).  This is the join topology the IMDb schema
+cannot produce, and it exercises the estimator on dimension-to-dimension
+correlations that only exist *through* the fact table:
+
+* premium customer segments buy high-price-band products
+  (``customers.segment_id`` correlates with ``products.price_band`` across
+  two joins),
+* customers shop in stores of their own region
+  (``customers.region_id`` correlates with ``stores.region_id``),
+* product categories are seasonal (``products.category_id`` correlates
+  with ``calendar.month``),
+* within the fact table, the sales channel tracks the buyer's age band and
+  the quantity band is inversely related to the product's price band.
+
+All conditional draws are leaky, so mismatched combinations keep small
+non-zero cardinalities — the regime where independence assumptions fail by
+orders of magnitude rather than the query being empty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets._generation import fanout_counts, sliced_choice, zipf_choice
+from repro.datasets.registry import register_dataset
+from repro.datasets.spec import DatasetSpec, WorkloadRecommendation
+from repro.db.schema import ColumnSchema, ForeignKey, Schema, TableSchema
+from repro.db.table import Database, Table
+from repro.utils.rng import spawn_rng
+
+__all__ = ["RetailConfig", "retail_schema", "generate_retail", "RETAIL_SPEC"]
+
+_NUM_SEGMENTS = 5
+_NUM_REGIONS = 8
+_NUM_CATEGORIES = 12
+_NUM_PRICE_BANDS = 5
+_DAYS_PER_MONTH = 30
+_NUM_MONTHS = 12
+
+
+@dataclass(frozen=True)
+class RetailConfig:
+    """Size and skew knobs of the retail generator.
+
+    The defaults produce roughly 45k rows; ``scale`` multiplies the customer
+    population and with it the fact table, leaving distributions untouched.
+    """
+
+    num_customers: int = 4_000
+    num_products: int = 1_500
+    num_stores: int = 240
+    mean_sales_per_customer: float = 8.0
+    seed: int = 42
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if min(self.num_customers, self.num_products) <= 0:
+            raise ValueError("all population sizes must be positive")
+        if self.num_stores < _NUM_REGIONS:
+            # Every region needs at least one store or the region-conditioned
+            # store draws in the fact table would starve.
+            raise ValueError(f"num_stores must be >= {_NUM_REGIONS} (one per region)")
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+
+    @property
+    def effective_customers(self) -> int:
+        return max(int(round(self.num_customers * self.scale)), 10)
+
+    @property
+    def num_days(self) -> int:
+        return _DAYS_PER_MONTH * _NUM_MONTHS
+
+
+def retail_schema() -> Schema:
+    """The star schema: ``sales`` fanning out to four dimensions."""
+    customers = TableSchema(
+        name="customers",
+        columns=(
+            ColumnSchema("id", "primary_key"),
+            ColumnSchema("segment_id"),
+            ColumnSchema("region_id"),
+            ColumnSchema("age_band"),
+        ),
+    )
+    products = TableSchema(
+        name="products",
+        columns=(
+            ColumnSchema("id", "primary_key"),
+            ColumnSchema("category_id"),
+            ColumnSchema("brand_id"),
+            ColumnSchema("price_band"),
+        ),
+    )
+    stores = TableSchema(
+        name="stores",
+        columns=(
+            ColumnSchema("id", "primary_key"),
+            ColumnSchema("region_id"),
+            ColumnSchema("format_id"),
+        ),
+    )
+    calendar = TableSchema(
+        name="calendar",
+        columns=(
+            ColumnSchema("id", "primary_key"),
+            ColumnSchema("month"),
+            ColumnSchema("week"),
+            ColumnSchema("is_holiday"),
+        ),
+    )
+    sales = TableSchema(
+        name="sales",
+        columns=(
+            ColumnSchema("id", "primary_key"),
+            ColumnSchema("customer_id", "foreign_key"),
+            ColumnSchema("product_id", "foreign_key"),
+            ColumnSchema("store_id", "foreign_key"),
+            ColumnSchema("date_id", "foreign_key"),
+            ColumnSchema("channel_id"),
+            ColumnSchema("quantity_band"),
+        ),
+    )
+    foreign_keys = (
+        ForeignKey("sales", "customer_id", "customers", "id"),
+        ForeignKey("sales", "product_id", "products", "id"),
+        ForeignKey("sales", "store_id", "stores", "id"),
+        ForeignKey("sales", "date_id", "calendar", "id"),
+    )
+    return Schema(tables=(customers, products, stores, calendar, sales), foreign_keys=foreign_keys)
+
+
+def generate_retail(config: RetailConfig | None = None) -> Database:
+    """Generate a synthetic retail :class:`~repro.db.table.Database`."""
+    config = config if config is not None else RetailConfig()
+    schema = retail_schema()
+    num_customers = config.effective_customers
+
+    customers = _generate_customers(config, schema, num_customers)
+    products = _generate_products(config, schema)
+    stores = _generate_stores(config, schema)
+    calendar = _generate_calendar(config, schema)
+    sales = _generate_sales(config, schema, customers, products, stores)
+    return Database(
+        schema,
+        {
+            "customers": customers,
+            "products": products,
+            "stores": stores,
+            "calendar": calendar,
+            "sales": sales,
+        },
+    )
+
+
+def _generate_customers(config: RetailConfig, schema: Schema, num_customers: int) -> Table:
+    rng = spawn_rng(config.seed, "customers")
+    # Segments skew towards the mass market (segment 5 = budget, 1 = premium).
+    segment_id = _NUM_SEGMENTS + 1 - zipf_choice(rng, _NUM_SEGMENTS, num_customers, exponent=0.8)
+    region_id = zipf_choice(rng, _NUM_REGIONS, num_customers, exponent=0.9)
+    # Within-table correlation: premium segments skew older.
+    base_band = np.clip(7 - segment_id + rng.integers(-1, 2, size=num_customers), 1, 6)
+    noisy = rng.random(num_customers) < 0.2
+    age_band = np.where(noisy, rng.integers(1, 7, size=num_customers), base_band)
+    return Table(
+        schema.table("customers"),
+        {
+            "id": np.arange(1, num_customers + 1, dtype=np.int64),
+            "segment_id": segment_id.astype(np.int64),
+            "region_id": region_id,
+            "age_band": age_band.astype(np.int64),
+        },
+    )
+
+
+def _generate_products(config: RetailConfig, schema: Schema) -> Table:
+    rng = spawn_rng(config.seed, "products")
+    num_products = config.num_products
+    product_ids = np.arange(1, num_products + 1, dtype=np.int64)
+    # Price bands partition the id space (band b = ids in slice b), which
+    # makes segment-conditioned product draws in the fact table a slice draw.
+    price_band = 1 + ((product_ids - 1) * _NUM_PRICE_BANDS) // num_products
+    category_id = zipf_choice(rng, _NUM_CATEGORIES, num_products, exponent=0.7)
+    # Within-table correlation: brands live inside one category (with noise).
+    num_brands = max(num_products // 12, _NUM_CATEGORIES)
+    base_brand = 1 + (category_id - 1 + _NUM_CATEGORIES * rng.integers(0, max(num_brands // _NUM_CATEGORIES, 1), size=num_products)) % num_brands
+    noisy = rng.random(num_products) < 0.1
+    brand_id = np.where(noisy, zipf_choice(rng, num_brands, num_products, exponent=1.0), base_brand)
+    return Table(
+        schema.table("products"),
+        {
+            "id": product_ids,
+            "category_id": category_id,
+            "brand_id": brand_id.astype(np.int64),
+            "price_band": price_band.astype(np.int64),
+        },
+    )
+
+
+def _generate_stores(config: RetailConfig, schema: Schema) -> Table:
+    rng = spawn_rng(config.seed, "stores")
+    num_stores = config.num_stores
+    # Regions are assigned round-robin with skewed extras so that every
+    # region has at least one store (region-conditioned draws never starve).
+    region_id = np.empty(num_stores, dtype=np.int64)
+    region_id[:_NUM_REGIONS] = np.arange(1, _NUM_REGIONS + 1)
+    if num_stores > _NUM_REGIONS:
+        region_id[_NUM_REGIONS:] = zipf_choice(
+            rng, _NUM_REGIONS, num_stores - _NUM_REGIONS, exponent=0.9
+        )
+    # Within-table correlation: dense regions get more small-format stores.
+    base_format = 1 + (region_id % 2) + (rng.random(num_stores) < 0.3).astype(np.int64)
+    format_id = np.clip(base_format, 1, 4)
+    return Table(
+        schema.table("stores"),
+        {
+            "id": np.arange(1, num_stores + 1, dtype=np.int64),
+            "region_id": region_id,
+            "format_id": format_id.astype(np.int64),
+        },
+    )
+
+
+def _generate_calendar(config: RetailConfig, schema: Schema) -> Table:
+    rng = spawn_rng(config.seed, "calendar")
+    num_days = config.num_days
+    day_ids = np.arange(1, num_days + 1, dtype=np.int64)
+    month = 1 + (day_ids - 1) // _DAYS_PER_MONTH
+    week = 1 + (day_ids - 1) // 7
+    # Holidays cluster in summer and December (correlated with month).
+    holiday_probability = np.where(np.isin(month, (7, 12)), 0.25, 0.04)
+    is_holiday = (rng.random(num_days) < holiday_probability).astype(np.int64)
+    return Table(
+        schema.table("calendar"),
+        {"id": day_ids, "month": month.astype(np.int64), "week": week.astype(np.int64), "is_holiday": is_holiday},
+    )
+
+
+def _generate_sales(
+    config: RetailConfig,
+    schema: Schema,
+    customers: Table,
+    products: Table,
+    stores: Table,
+) -> Table:
+    rng = spawn_rng(config.seed, "sales")
+    num_customers = customers.num_rows
+    # Zipf-skewed per-customer purchase counts: whale customers dominate the
+    # fact table (the "wide fan-out" half of the star's difficulty).
+    rank_factor = 1.0 / np.arange(1, num_customers + 1, dtype=np.float64) ** 0.8
+    rank_factor *= num_customers / rank_factor.sum()
+    counts = fanout_counts(rng, config.mean_sales_per_customer * rank_factor)
+    customer_id = np.repeat(customers.column("id"), counts)
+    total = len(customer_id)
+
+    segment = customers.column("segment_id")[customer_id - 1]
+    region = customers.column("region_id")[customer_id - 1]
+    age_band = customers.column("age_band")[customer_id - 1]
+
+    # Join-crossing correlation #1: premium segments (low segment_id) buy
+    # high-price-band products.  Price bands partition the product id space,
+    # so this is a leaky slice draw keyed by the buyer's segment.
+    band_slice = np.clip(_NUM_PRICE_BANDS - segment, 0, _NUM_PRICE_BANDS - 1)
+    product_id = sliced_choice(
+        rng, config.num_products, band_slice, _NUM_PRICE_BANDS, leak=0.12, exponent=1.05
+    )
+
+    # Join-crossing correlation #2: customers shop in stores of their region.
+    store_regions = stores.column("region_id")
+    store_ids_by_region = [
+        np.flatnonzero(store_regions == region_index) + 1
+        for region_index in range(1, _NUM_REGIONS + 1)
+    ]
+    store_id = zipf_choice(rng, stores.num_rows, total, exponent=1.0)
+    local = rng.random(total) < 0.9
+    for region_index in range(1, _NUM_REGIONS + 1):
+        mask = local & (region == region_index)
+        size = int(mask.sum())
+        if size:
+            pool = store_ids_by_region[region_index - 1]
+            within = zipf_choice(rng, len(pool), size, exponent=1.0)
+            store_id[mask] = pool[within - 1]
+
+    # Join-crossing correlation #3: categories are seasonal — each category
+    # peaks in one month; 70% of a product's sales land in its peak window.
+    category = products.column("category_id")[product_id - 1]
+    peak_month = 1 + (category * 5) % _NUM_MONTHS
+    date_id = rng.integers(1, config.num_days + 1, size=total)
+    seasonal = rng.random(total) < 0.7
+    if seasonal.any():
+        month_start = (peak_month[seasonal] - 1) * _DAYS_PER_MONTH
+        date_id[seasonal] = month_start + rng.integers(
+            1, _DAYS_PER_MONTH + 1, size=int(seasonal.sum())
+        )
+
+    # Within-fact correlations: young buyers use the online channel; cheap
+    # products sell in bulk.
+    channel_noise = rng.random(total)
+    channel_id = np.where(
+        age_band <= 2,
+        np.where(channel_noise < 0.75, 1, 2),
+        np.where(channel_noise < 0.55, 3, np.where(channel_noise < 0.8, 2, 1)),
+    )
+    price_band = products.column("price_band")[product_id - 1]
+    quantity_band = np.clip(
+        5 - price_band + rng.integers(-1, 2, size=total), 1, 4
+    )
+    return Table(
+        schema.table("sales"),
+        {
+            "id": np.arange(1, total + 1, dtype=np.int64),
+            "customer_id": customer_id.astype(np.int64),
+            "product_id": product_id.astype(np.int64),
+            "store_id": store_id.astype(np.int64),
+            "date_id": date_id.astype(np.int64),
+            "channel_id": channel_id.astype(np.int64),
+            "quantity_band": quantity_band.astype(np.int64),
+        },
+    )
+
+
+def _generate_for_spec(scale: float, seed: int) -> Database:
+    return generate_retail(RetailConfig(scale=scale, seed=seed))
+
+
+#: The registered retail star: fact-hub topology, Zipf fan-outs, seasonal and
+#: segment-driven dimension-to-dimension correlations through ``sales``.
+RETAIL_SPEC = register_dataset(
+    DatasetSpec(
+        name="retail",
+        description=(
+            "TPC-style retail star: one wide 'sales' fact over four skewed "
+            "dimensions with segment/region/season correlations through the fact"
+        ),
+        topology="star",
+        schema_factory=retail_schema,
+        generator=_generate_for_spec,
+        default_seed=42,
+        workload=WorkloadRecommendation(
+            max_joins=2,
+            scale_max_joins=4,
+            num_training_queries=3000,
+            num_eval_queries=500,
+        ),
+    )
+)

@@ -126,7 +126,17 @@ class Query:
     # -- convenience -----------------------------------------------------
     @property
     def num_joins(self) -> int:
-        return len(self.joins)
+        """Number of join edges; memoized like :meth:`signature`.
+
+        Evaluation and serving consult the join count once per row (q-error
+        grouping, uncertainty routing), so it is derived once per immutable
+        query rather than per consumer.
+        """
+        cached = self.__dict__.get("_num_joins")
+        if cached is None:
+            cached = len(self.joins)
+            object.__setattr__(self, "_num_joins", cached)
+        return cached
 
     @property
     def num_predicates(self) -> int:
@@ -153,8 +163,17 @@ class Query:
         """Whether the join graph connects all referenced tables.
 
         Queries produced by the workload generators are always connected;
-        a disconnected query implies a cross product.
+        a disconnected query implies a cross product.  The derivation walks
+        the query's join graph, so it is memoized like :meth:`signature`.
         """
+        cached = self.__dict__.get("_is_connected")
+        if cached is not None:
+            return cached
+        cached = self._derive_connected()
+        object.__setattr__(self, "_is_connected", cached)
+        return cached
+
+    def _derive_connected(self) -> bool:
         if len(self.tables) == 1:
             return True
         adjacency: dict[str, set[str]] = {table: set() for table in self.tables}

@@ -167,6 +167,65 @@ class Schema:
                 return foreign_key
         return None
 
+    def join_components(self) -> tuple[frozenset[str], ...]:
+        """Connected components of the join graph (tables without edges excluded)."""
+        components: list[frozenset[str]] = []
+        seen: set[str] = set()
+        for table in self.tables_in_join_graph():
+            if table in seen:
+                continue
+            component = {table}
+            frontier = [table]
+            while frontier:
+                for neighbour in self.joinable_tables(frontier.pop()):
+                    if neighbour not in component:
+                        component.add(neighbour)
+                        frontier.append(neighbour)
+            seen |= component
+            components.append(frozenset(component))
+        return tuple(components)
+
+    def join_component_sizes(self) -> dict[str, int]:
+        """Size of each join-graph table's connected component."""
+        sizes: dict[str, int] = {}
+        for component in self.join_components():
+            for table in component:
+                sizes[table] = len(component)
+        return sizes
+
+    def max_joins_per_query(self) -> int:
+        """The largest join count a single (tree-shaped) query can reach.
+
+        A join tree with ``k`` joins spans ``k + 1`` tables inside one
+        connected component, so the largest component bounds the count.  A
+        schema without foreign keys supports only single-table queries.
+        """
+        components = self.join_components()
+        if not components:
+            return 0
+        return max(len(component) for component in components) - 1
+
+    def join_diameter(self) -> int:
+        """Length (in joins) of the longest shortest path between two tables.
+
+        This is the join-graph diameter: the deepest join chain a query must
+        traverse to connect the two most distant tables.  Star schemas have a
+        diameter of 2 (dimension-hub-dimension); snowflake chains grow it with
+        every level.
+        """
+        diameter = 0
+        for start in self.tables_in_join_graph():
+            distances = {start: 0}
+            frontier = [start]
+            while frontier:
+                current = frontier.pop(0)
+                for neighbour in self.joinable_tables(current):
+                    if neighbour not in distances:
+                        distances[neighbour] = distances[current] + 1
+                        frontier.append(neighbour)
+            diameter = max(diameter, max(distances.values()))
+        return diameter
+
     def iter_columns(self) -> Iterator[tuple[str, ColumnSchema]]:
         """Yield ``(table_name, column)`` pairs over the whole schema."""
         for table in self.tables:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import abc
+from typing import Sequence
 
 import numpy as np
 
@@ -26,6 +27,11 @@ class CardinalityEstimator(abc.ABC):
     def estimate(self, query: Query) -> float:
         """Estimated result cardinality of ``query`` (>= 1)."""
 
-    def estimate_many(self, queries: list[Query]) -> np.ndarray:
-        """Vectorized convenience wrapper around :meth:`estimate`."""
+    def estimate_many(self, queries: Sequence[Query]) -> np.ndarray:
+        """Vectorized convenience wrapper around :meth:`estimate`.
+
+        Accepts any sequence of queries (lists, tuples, workload slices), not
+        just lists — the evaluation harness routes every workload through
+        this method, so vectorized subclass overrides are used end-to-end.
+        """
         return np.array([self.estimate(query) for query in queries], dtype=np.float64)

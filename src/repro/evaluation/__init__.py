@@ -19,8 +19,26 @@ from repro.evaluation.reporting import (
     format_summary_table,
     format_workload_distribution,
 )
+from repro.evaluation.scenarios import (
+    Scenario,
+    ScenarioConfig,
+    ScenarioResult,
+    build_scenario,
+    build_scenarios,
+    format_scenario_matrix,
+    mscn_factory,
+    run_scenarios,
+)
 
 __all__ = [
+    "Scenario",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "build_scenario",
+    "build_scenarios",
+    "run_scenarios",
+    "mscn_factory",
+    "format_scenario_matrix",
     "q_error",
     "q_errors",
     "signed_ratio",

@@ -8,6 +8,12 @@ all estimators — but shrinks the database and training corpus so the whole
 benchmark suite finishes in minutes; the ``paper`` preset records the
 original parameters for completeness.  EXPERIMENTS.md documents which preset
 produced the reported numbers.
+
+Experiments are dataset-agnostic: an :class:`ExperimentScale` names a
+registered :class:`~repro.datasets.spec.DatasetSpec` (``imdb`` by default)
+and the context derives the database, the workload join bounds and the
+stratified workloads from the spec.  The IMDb-specific ``database_config``
+knob survives for the presets that size the synthetic IMDb precisely.
 """
 
 from __future__ import annotations
@@ -18,22 +24,35 @@ from repro.core.batching import FeaturizedDataset
 from repro.core.config import FeaturizationVariant, MSCNConfig
 from repro.core.estimator import MSCNEstimator
 from repro.datasets.imdb import SyntheticIMDbConfig, generate_imdb
+from repro.datasets.registry import get_dataset
+from repro.datasets.spec import DatasetSpec
 from repro.db.sampling import MaterializedSamples
 from repro.db.table import Database
-from repro.workload.generator import LabelledQuery, QueryGenerator, WorkloadConfig
+from repro.workload.generator import LabelledQuery, QueryGenerator
 
 __all__ = ["ExperimentScale", "SMALL_SCALE", "PAPER_SCALE", "ExperimentContext"]
 
 
 @dataclass(frozen=True)
 class ExperimentScale:
-    """All size knobs of the reproduction experiments."""
+    """All size knobs of the reproduction experiments.
+
+    ``dataset`` names a registered spec; ``dataset_scale``/``dataset_seed``
+    parameterize its generator.  For the IMDb dataset, ``database_config``
+    overrides both with the fully explicit generator configuration (the
+    historical presets pin exact population sizes this way).
+    ``training_max_joins`` defaults to the spec's recommended join bound.
+    """
 
     name: str
-    database_config: SyntheticIMDbConfig
+    dataset: str = "imdb"
+    dataset_scale: float = 1.0
+    dataset_seed: int = 42
+    database_config: SyntheticIMDbConfig | None = None
     num_training_queries: int = 3000
     num_synthetic_queries: int = 500
     scale_queries_per_join_count: int = 30
+    training_max_joins: int | None = None
     job_light_scale: float = 1.0
     sample_size: int = 100
     hidden_units: int = 64
@@ -42,6 +61,17 @@ class ExperimentScale:
     learning_rate: float = 1e-3
     training_seed: int = 21
     evaluation_seed: int = 99
+
+    def __post_init__(self) -> None:
+        if self.database_config is not None and self.dataset != "imdb":
+            raise ValueError(
+                "database_config is the IMDb generator's configuration; "
+                f"it cannot parameterize dataset {self.dataset!r}"
+            )
+
+    @property
+    def spec(self) -> DatasetSpec:
+        return get_dataset(self.dataset)
 
     def mscn_config(self, variant: FeaturizationVariant = FeaturizationVariant.BITMAPS,
                     **overrides) -> MSCNConfig:
@@ -110,9 +140,19 @@ class ExperimentContext:
 
     # ------------------------------------------------------------------
     @property
+    def spec(self) -> DatasetSpec:
+        """The registered dataset spec this context runs against."""
+        return self.scale.spec
+
+    @property
     def database(self) -> Database:
         if self._database is None:
-            self._database = generate_imdb(self.scale.database_config)
+            if self.scale.database_config is not None:
+                self._database = generate_imdb(self.scale.database_config)
+            else:
+                self._database = self.spec.generate(
+                    scale=self.scale.dataset_scale, seed=self.scale.dataset_seed
+                )
         return self._database
 
     @property
@@ -123,16 +163,20 @@ class ExperimentContext:
             )
         return self._samples
 
+    def _workload_config(self, num_queries: int, seed: int):
+        overrides = {}
+        if self.scale.training_max_joins is not None:
+            overrides["max_joins"] = self.scale.training_max_joins
+        return self.spec.training_workload_config(num_queries, seed, **overrides)
+
     @property
     def training_workload(self) -> list[LabelledQuery]:
-        """Random 0-2-join queries used to train MSCN (Section 3.3)."""
+        """Random training queries (Section 3.3) within the spec's join bound."""
         if self._training_workload is None:
             generator = QueryGenerator(
                 self.database,
-                WorkloadConfig(
-                    num_queries=self.scale.num_training_queries,
-                    max_joins=2,
-                    seed=self.scale.training_seed,
+                self._workload_config(
+                    self.scale.num_training_queries, self.scale.training_seed
                 ),
             )
             self._training_workload = generator.generate()
@@ -144,10 +188,8 @@ class ExperimentContext:
         if self._synthetic_workload is None:
             generator = QueryGenerator(
                 self.database,
-                WorkloadConfig(
-                    num_queries=self.scale.num_synthetic_queries,
-                    max_joins=2,
-                    seed=self.scale.evaluation_seed,
+                self._workload_config(
+                    self.scale.num_synthetic_queries, self.scale.evaluation_seed
                 ),
             )
             self._synthetic_workload = generator.generate()

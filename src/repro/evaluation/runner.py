@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -68,12 +69,18 @@ class EvaluationResult:
 
 
 def evaluate_estimator(
-    estimator: CardinalityEstimator, workload: list[LabelledQuery]
+    estimator: CardinalityEstimator, workload: Sequence[LabelledQuery]
 ) -> EvaluationResult:
-    """Run one estimator over a labelled workload."""
+    """Run one estimator over a labelled workload.
+
+    The whole workload is routed through :meth:`estimate_many` in one call
+    (never per-query :meth:`estimate`), so estimators with vectorized
+    ``estimate_many`` overrides — MSCN's fused inference path, ensembles —
+    answer with batched forward passes end-to-end.
+    """
     if not workload:
         raise ValueError("cannot evaluate on an empty workload")
-    queries = [labelled.query for labelled in workload]
+    queries = tuple(labelled.query for labelled in workload)
     estimates = estimator.estimate_many(queries)
     true_cardinalities = np.array([labelled.cardinality for labelled in workload], dtype=np.float64)
     join_counts = np.array([labelled.query.num_joins for labelled in workload], dtype=np.int64)
@@ -86,7 +93,7 @@ def evaluate_estimator(
 
 
 def evaluate_estimators(
-    estimators: list[CardinalityEstimator], workload: list[LabelledQuery]
+    estimators: Sequence[CardinalityEstimator], workload: Sequence[LabelledQuery]
 ) -> dict[str, EvaluationResult]:
     """Run several estimators over the same workload, keyed by estimator name."""
     return {estimator.name: evaluate_estimator(estimator, workload) for estimator in estimators}

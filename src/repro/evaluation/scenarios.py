@@ -1,0 +1,254 @@
+"""Cross-scenario evaluation: any estimator across every registered dataset.
+
+The ROADMAP's north star asks the reproduction to handle "as many scenarios
+as you can imagine"; this module is the harness that makes a *scenario* a
+first-class object.  A scenario is one registered dataset instantiated at a
+given scale plus its recommended workloads (the paper-style synthetic
+workload and optionally the join-generalization *scale* workload).  Any
+number of estimators — learned or baseline — can then be run over the full
+``datasets x workloads`` matrix and summarized as per-scenario q-error
+tables, the cross-schema analogue of the paper's Tables 2-4.
+
+Estimators are supplied as *factories* ``(Scenario) -> CardinalityEstimator``
+because a learned estimator must be trained per scenario (its vocabularies
+are derived from the scenario's schema); baselines simply close over the
+scenario's database.  :func:`mscn_factory` builds the standard MSCN factory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.core.config import MSCNConfig
+from repro.core.estimator import MSCNEstimator
+from repro.datasets.registry import get_dataset, registered_datasets
+from repro.datasets.spec import DatasetSpec
+from repro.db.sampling import MaterializedSamples
+from repro.db.table import Database
+from repro.estimators.base import CardinalityEstimator
+from repro.evaluation.metrics import QErrorSummary
+from repro.evaluation.runner import EvaluationResult, evaluate_estimator
+from repro.workload.generator import (
+    LabelledQuery,
+    generate_evaluation_workload,
+    generate_training_workload,
+)
+from repro.workload.scale import generate_scale_workload_for_spec
+
+__all__ = [
+    "ScenarioConfig",
+    "Scenario",
+    "ScenarioResult",
+    "EstimatorFactory",
+    "build_scenario",
+    "build_scenarios",
+    "run_scenarios",
+    "mscn_factory",
+    "format_scenario_matrix",
+]
+
+EstimatorFactory = Callable[["Scenario"], CardinalityEstimator]
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Size knobs shared by every scenario of one evaluation run.
+
+    ``datasets`` selects registered dataset names (empty means all).  The
+    per-dataset workload sizes intentionally override the specs' recommended
+    sizes: a cross-scenario run wants comparable, budget-bounded matrices,
+    not each dataset's full-size workload.
+    """
+
+    datasets: tuple[str, ...] = ()
+    dataset_scale: float = 0.25
+    dataset_seed: int = 42
+    num_training_queries: int = 1000
+    num_eval_queries: int = 200
+    sample_size: int = 50
+    include_scale_workload: bool = False
+    scale_queries_per_join_count: int = 20
+    training_seed: int = 21
+    evaluation_seed: int = 99
+
+    def __post_init__(self) -> None:
+        if self.dataset_scale <= 0:
+            raise ValueError("dataset_scale must be positive")
+        if self.num_training_queries <= 0 or self.num_eval_queries <= 0:
+            raise ValueError("workload sizes must be positive")
+
+    def selected_specs(self) -> tuple[DatasetSpec, ...]:
+        if not self.datasets:
+            return registered_datasets()
+        return tuple(get_dataset(name) for name in self.datasets)
+
+
+@dataclass
+class Scenario:
+    """One dataset instantiated for evaluation: snapshot, samples, workloads.
+
+    The training workload is built (and truth-labelled) lazily on first
+    access: baseline estimators never train, and labelling thousands of
+    queries is the most expensive step of scenario construction.
+    """
+
+    spec: DatasetSpec
+    database: Database
+    samples: MaterializedSamples
+    config: ScenarioConfig
+    evaluation_workloads: dict[str, list[LabelledQuery]] = field(default_factory=dict)
+    _training_workload: list[LabelledQuery] | None = field(default=None, repr=False)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def training_workload(self) -> list[LabelledQuery]:
+        if self._training_workload is None:
+            self._training_workload = generate_training_workload(
+                self.spec,
+                self.database,
+                self.config.num_training_queries,
+                seed=self.config.training_seed,
+            )
+        return self._training_workload
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """One cell of the evaluation matrix: estimator x dataset x workload."""
+
+    dataset: str
+    workload: str
+    estimator_name: str
+    summary: QErrorSummary
+    result: EvaluationResult
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.result.estimates)
+
+
+def build_scenario(spec: DatasetSpec, config: ScenarioConfig | None = None) -> Scenario:
+    """Instantiate one dataset as a scenario (database, samples, workloads)."""
+    config = config if config is not None else ScenarioConfig()
+    database = spec.generate(scale=config.dataset_scale, seed=config.dataset_seed)
+    samples = MaterializedSamples(
+        database, sample_size=config.sample_size, seed=config.dataset_seed
+    )
+    workloads = {
+        "synthetic": generate_evaluation_workload(
+            spec, database, config.num_eval_queries, seed=config.evaluation_seed
+        )
+    }
+    if config.include_scale_workload:
+        workloads["scale"] = generate_scale_workload_for_spec(
+            spec,
+            database,
+            queries_per_join_count=config.scale_queries_per_join_count,
+            seed=config.evaluation_seed + 1,
+        )
+    return Scenario(
+        spec=spec,
+        database=database,
+        samples=samples,
+        config=config,
+        evaluation_workloads=workloads,
+    )
+
+
+def build_scenarios(config: ScenarioConfig | None = None) -> list[Scenario]:
+    """Build scenarios for every selected registered dataset."""
+    config = config if config is not None else ScenarioConfig()
+    return [build_scenario(spec, config) for spec in config.selected_specs()]
+
+
+def run_scenarios(
+    estimator_factories: Mapping[str, EstimatorFactory] | EstimatorFactory,
+    config: ScenarioConfig | None = None,
+    scenarios: list[Scenario] | None = None,
+) -> list[ScenarioResult]:
+    """Run estimators over the full dataset x workload matrix.
+
+    ``estimator_factories`` maps display labels to factories; a bare factory
+    is accepted for single-estimator runs (its estimator's ``name`` labels
+    the rows).  ``scenarios`` short-circuits scenario building so expensive
+    snapshots can be shared across several calls.
+    """
+    if scenarios is None:
+        scenarios = build_scenarios(config)
+    if callable(estimator_factories):
+        factories: Mapping[str, EstimatorFactory | None] = {"": estimator_factories}
+    else:
+        factories = dict(estimator_factories)
+        if not factories:
+            raise ValueError("run_scenarios needs at least one estimator factory")
+    results: list[ScenarioResult] = []
+    for scenario in scenarios:
+        for label, factory in factories.items():
+            estimator = factory(scenario)
+            for workload_name, workload in scenario.evaluation_workloads.items():
+                evaluation = evaluate_estimator(estimator, workload)
+                results.append(
+                    ScenarioResult(
+                        dataset=scenario.name,
+                        workload=workload_name,
+                        estimator_name=label or evaluation.estimator_name,
+                        summary=evaluation.summary(),
+                        result=evaluation,
+                    )
+                )
+    return results
+
+
+def mscn_factory(config: MSCNConfig | None = None) -> EstimatorFactory:
+    """A factory training the paper's MSCN on each scenario it is handed.
+
+    The estimator derives its vocabularies from the scenario's schema and
+    shares the scenario's materialized samples, so one factory serves every
+    registered dataset.
+    """
+
+    def build(scenario: Scenario) -> CardinalityEstimator:
+        estimator = MSCNEstimator(scenario.database, config, samples=scenario.samples)
+        estimator.fit(scenario.training_workload)
+        return estimator
+
+    return build
+
+
+def format_scenario_matrix(results: list[ScenarioResult], title: str = "") -> str:
+    """Render scenario results as per-scenario q-error tables.
+
+    One row per ``dataset / workload / estimator`` cell with the paper's
+    q-error columns (median, 90th/95th/99th percentile, max, mean).
+    """
+
+    def _value(value: float) -> str:
+        if value >= 1000:
+            return f"{value:,.0f}"
+        if value >= 100:
+            return f"{value:.0f}"
+        if value >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+
+    header = (
+        f"{'dataset':<10} {'workload':<10} {'estimator':<26} {'queries':>7} "
+        f"{'median':>8} {'90th':>8} {'95th':>8} {'99th':>8} {'max':>10} {'mean':>8}"
+    )
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for entry in sorted(results, key=lambda r: (r.dataset, r.workload, r.estimator_name)):
+        median, p90, p95, p99, maximum, mean = entry.summary.as_row()
+        lines.append(
+            f"{entry.dataset:<10} {entry.workload:<10} {entry.estimator_name:<26} "
+            f"{entry.num_queries:>7} {_value(median):>8} {_value(p90):>8} "
+            f"{_value(p95):>8} {_value(p99):>8} {_value(maximum):>10} {_value(mean):>8}"
+        )
+    return "\n".join(lines)

@@ -34,6 +34,7 @@ import time
 from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -132,8 +133,8 @@ class EstimationService:
         """Estimated cardinality of one query (cached, coalesced, routed)."""
         return float(self.estimate_many([query])[0])
 
-    def estimate_many(self, queries: list[Query]) -> np.ndarray:
-        """Estimated cardinalities for a list of queries.
+    def estimate_many(self, queries: Sequence[Query]) -> np.ndarray:
+        """Estimated cardinalities for a sequence of queries.
 
         Cache hits are answered inline; the misses are submitted to the
         batcher as one request, where they coalesce with every other caller's

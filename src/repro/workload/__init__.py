@@ -11,16 +11,31 @@ Three workload families from the paper's evaluation (Section 4):
   ``production_year`` (:mod:`repro.workload.job_light`).
 """
 
-from repro.workload.generator import LabelledQuery, QueryGenerator, WorkloadConfig
+from repro.workload.generator import (
+    LabelledQuery,
+    QueryGenerator,
+    WorkloadConfig,
+    generate_evaluation_workload,
+    generate_training_workload,
+    split_by_joins,
+)
 from repro.workload.job_light import JobLightConfig, generate_job_light
-from repro.workload.scale import ScaleWorkloadConfig, generate_scale_workload
+from repro.workload.scale import (
+    ScaleWorkloadConfig,
+    generate_scale_workload,
+    generate_scale_workload_for_spec,
+)
 
 __all__ = [
     "LabelledQuery",
     "QueryGenerator",
     "WorkloadConfig",
+    "generate_training_workload",
+    "generate_evaluation_workload",
+    "split_by_joins",
     "ScaleWorkloadConfig",
     "generate_scale_workload",
+    "generate_scale_workload_for_spec",
     "JobLightConfig",
     "generate_job_light",
 ]

@@ -21,7 +21,7 @@ evaluation workload of 5,000 queries.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
@@ -30,6 +30,9 @@ from repro.db.predicates import Operator
 from repro.db.query import JoinCondition, Predicate, Query
 from repro.db.table import Database
 from repro.utils.rng import spawn_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle, type hints only
+    from repro.datasets.spec import DatasetSpec
 
 __all__ = ["WorkloadConfig", "LabelledQuery", "QueryGenerator"]
 
@@ -83,7 +86,9 @@ class QueryGenerator:
         self._executor = CardinalityExecutor(database)
         self._rng = spawn_rng(self.config.seed, "query-generator")
         self._join_graph_tables = self.schema.tables_in_join_graph() or self.schema.table_names
-        self._component_sizes = self._join_component_sizes()
+        self._component_sizes = self.schema.join_component_sizes() or {
+            table: 1 for table in self._join_graph_tables
+        }
         # A join tree with k joins needs k + 1 tables inside one connected
         # component, so the largest component bounds the satisfiable draw.
         self._max_supported_joins = max(self._component_sizes.values()) - 1
@@ -125,23 +130,6 @@ class QueryGenerator:
         return labelled
 
     # ------------------------------------------------------------------
-    def _join_component_sizes(self) -> dict[str, int]:
-        """Size of each table's connected component in the join graph."""
-        sizes: dict[str, int] = {}
-        for table in self._join_graph_tables:
-            if table in sizes:
-                continue
-            component = {table}
-            frontier = [table]
-            while frontier:
-                for neighbour in self.schema.joinable_tables(frontier.pop()):
-                    if neighbour not in component:
-                        component.add(neighbour)
-                        frontier.append(neighbour)
-            for member in component:
-                sizes[member] = len(component)
-        return sizes
-
     def _draw_query(self) -> Query:
         # Clamp the upper bound to what the join graph can actually connect;
         # drawing an unreachable count would silently shrink the join tree and
@@ -222,6 +210,39 @@ class QueryGenerator:
         return Predicate(table=table_name, column=column, operator=operator, value=literal)
 
 
+def generate_training_workload(
+    spec: "DatasetSpec",
+    database: Database,
+    num_queries: int | None = None,
+    seed: int = 0,
+    **overrides,
+) -> list[LabelledQuery]:
+    """Labelled training queries following a dataset spec's recommendation.
+
+    Uses the spec's recommended join bound and workload size (overridable via
+    ``num_queries`` and any :class:`WorkloadConfig` field), so the same call
+    works for every registered dataset regardless of its join topology.
+    """
+    config = spec.training_workload_config(num_queries, seed, **overrides)
+    return QueryGenerator(database, config).generate()
+
+
+def generate_evaluation_workload(
+    spec: "DatasetSpec",
+    database: Database,
+    num_queries: int | None = None,
+    seed: int = 1,
+    **overrides,
+) -> list[LabelledQuery]:
+    """The evaluation twin of :func:`generate_training_workload`.
+
+    Same generator and join bound as training, different seed — the paper's
+    "synthetic" evaluation workload, for any registered dataset.
+    """
+    config = spec.evaluation_workload_config(num_queries, seed, **overrides)
+    return QueryGenerator(database, config).generate()
+
+
 def split_by_joins(workload: list[LabelledQuery]) -> dict[int, list[LabelledQuery]]:
     """Group a workload by join count (used for Table 1 and the box plots)."""
     grouped: dict[int, list[LabelledQuery]] = {}
@@ -230,4 +251,6 @@ def split_by_joins(workload: list[LabelledQuery]) -> dict[int, list[LabelledQuer
     return dict(sorted(grouped.items()))
 
 
-__all__.append("split_by_joins")
+__all__.extend(
+    ["generate_training_workload", "generate_evaluation_workload", "split_by_joins"]
+)

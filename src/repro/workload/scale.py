@@ -1,19 +1,31 @@
 """The *scale* workload (paper Section 4.4).
 
-500 queries, 100 per join count from zero to four, produced by the same
-random generator as the training data but allowed to grow beyond the two-join
-training limit.  It measures how MSCN generalizes to queries with more joins
-than it was trained on.
+Equal-sized strata of queries per join count — the paper uses 500 queries,
+100 per join count from zero to four — produced by the same random generator
+as the training data but allowed to grow beyond the training join limit.  It
+measures how MSCN generalizes to queries with more joins than it was trained
+on.
+
+The stratification is schema-agnostic: the satisfiable join range is derived
+from the database's join graph (the largest connected component bounds it),
+so the same function produces scale workloads for the IMDb star, the retail
+star and the forum snowflake alike.  :func:`generate_scale_workload_for_spec`
+additionally reads the stratum ceiling from a registered
+:class:`~repro.datasets.spec.DatasetSpec`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.db.table import Database
 from repro.workload.generator import LabelledQuery, QueryGenerator, WorkloadConfig
 
-__all__ = ["ScaleWorkloadConfig", "generate_scale_workload"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle, type hints only
+    from repro.datasets.spec import DatasetSpec
+
+__all__ = ["ScaleWorkloadConfig", "generate_scale_workload", "generate_scale_workload_for_spec"]
 
 
 @dataclass(frozen=True)
@@ -36,14 +48,16 @@ def generate_scale_workload(
 ) -> list[LabelledQuery]:
     """Generate the scale workload: equal-sized strata of 0..max_joins queries.
 
-    The join-graph of the IMDb-style star schema caps the number of joins at
-    the number of fact tables; requesting more raises ``ValueError``.
+    A join tree with ``k`` joins needs ``k + 1`` tables inside one connected
+    component of the join graph, so the largest component bounds the
+    satisfiable strata; requesting more raises ``ValueError``.
     """
     config = config if config is not None else ScaleWorkloadConfig()
-    max_possible_joins = len(database.schema.join_edges())
+    max_possible_joins = database.schema.max_joins_per_query()
     if config.max_joins > max_possible_joins:
         raise ValueError(
-            f"max_joins={config.max_joins} exceeds the schema's {max_possible_joins} join edges"
+            f"max_joins={config.max_joins} exceeds the {max_possible_joins} joins "
+            "the schema's join graph can connect in one query"
         )
     workload: list[LabelledQuery] = []
     for num_joins in range(config.max_joins + 1):
@@ -56,3 +70,23 @@ def generate_scale_workload(
         generator = QueryGenerator(database, stratum_config)
         workload.extend(generator.generate())
     return workload
+
+
+def generate_scale_workload_for_spec(
+    spec: "DatasetSpec",
+    database: Database,
+    queries_per_join_count: int = 100,
+    seed: int = 103,
+) -> list[LabelledQuery]:
+    """The scale workload with the stratum ceiling a dataset spec recommends.
+
+    The spec's ``scale_max_joins`` is clamped to what the schema's join graph
+    can actually connect, so a recommendation written for the full-size
+    schema stays valid on shrunken variants.
+    """
+    config = ScaleWorkloadConfig(
+        queries_per_join_count=queries_per_join_count,
+        max_joins=min(spec.workload.scale_max_joins, spec.join_graph().max_joins_per_query),
+        seed=seed,
+    )
+    return generate_scale_workload(database, config)

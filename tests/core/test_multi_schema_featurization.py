@@ -1,0 +1,116 @@
+"""Cross-schema featurization equivalence (the registry's core guarantee).
+
+For every registered dataset, the vectorized paths (``featurize_batch`` /
+``featurize_ragged``) must stay bit-identical to the legacy per-query
+``featurize`` + ``collate`` path, and the one-hot vocabulary sizes must be
+exactly the quantities the spec's schema determines — no hidden IMDb
+assumptions anywhere in encoding or featurization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.batching import collate
+from repro.core.config import FeaturizationVariant
+from repro.core.encoding import SchemaEncoding
+from repro.core.featurization import QueryFeaturizer
+from repro.core.normalization import ValueNormalizer
+from repro.datasets import registered_datasets
+from repro.db.predicates import Operator
+from repro.db.sampling import MaterializedSamples
+from repro.workload.generator import generate_training_workload
+
+DATASET_NAMES = tuple(spec.name for spec in registered_datasets())
+
+TENSOR_ATTRIBUTES = (
+    "table_features",
+    "table_mask",
+    "join_features",
+    "join_mask",
+    "predicate_features",
+    "predicate_mask",
+)
+
+
+@pytest.fixture(scope="module")
+def scenario_parts():
+    """Per-dataset (spec, database, samples, queries) at miniature scale."""
+    parts = {}
+    for spec in registered_datasets():
+        database = spec.generate(scale=0.04, seed=5)
+        samples = MaterializedSamples(database, sample_size=25, seed=5)
+        workload = generate_training_workload(spec, database, num_queries=60, seed=13)
+        parts[spec.name] = (spec, database, samples, [q.query for q in workload])
+    return parts
+
+
+def make_featurizer(database, samples, variant):
+    encoding = SchemaEncoding.from_schema(database.schema)
+    normalizer = ValueNormalizer.from_database(database)
+    return QueryFeaturizer(encoding, normalizer, samples=samples, variant=variant)
+
+
+class TestVocabulariesMatchSchema:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_vocabulary_sizes_are_schema_derived(self, name, scenario_parts):
+        spec, database, _, _ = scenario_parts[name]
+        encoding = SchemaEncoding.from_schema(database.schema)
+        schema = spec.schema
+        assert encoding.vocabulary_sizes() == {
+            "tables": len(schema.tables),
+            "joins": len(schema.join_edges()),
+            "columns": len(schema.non_key_columns()),
+            "operators": len(Operator),
+        }
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_feature_widths_follow_vocabularies(self, name, scenario_parts):
+        _, database, samples, _ = scenario_parts[name]
+        featurizer = make_featurizer(database, samples, FeaturizationVariant.BITMAPS)
+        encoding = featurizer.encoding
+        assert featurizer.table_feature_width == encoding.num_tables + samples.sample_size
+        assert featurizer.join_feature_width == max(encoding.num_joins, 1)
+        assert (
+            featurizer.predicate_feature_width
+            == encoding.num_columns + encoding.num_operators + 1
+        )
+
+
+class TestCrossSchemaEquivalence:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    @pytest.mark.parametrize("variant", tuple(FeaturizationVariant))
+    def test_batch_is_bit_identical_to_legacy(self, name, variant, scenario_parts):
+        _, database, samples, queries = scenario_parts[name]
+        featurizer = make_featurizer(database, samples, variant)
+        legacy = collate(featurizer.featurize_many(queries))
+        vectorized = featurizer.featurize_batch(queries)
+        for attribute in TENSOR_ATTRIBUTES:
+            np.testing.assert_array_equal(
+                getattr(legacy, attribute),
+                getattr(vectorized, attribute),
+                err_msg=f"{name}:{variant.value}:{attribute}",
+            )
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_ragged_matches_padded_rows(self, name, scenario_parts):
+        _, database, samples, queries = scenario_parts[name]
+        featurizer = make_featurizer(database, samples, FeaturizationVariant.BITMAPS)
+        padded = featurizer.featurize_batch(queries)
+        ragged = featurizer.featurize_ragged(queries)
+        for set_name, padded_features, padded_mask in (
+            ("tables", padded.table_features, padded.table_mask),
+            ("joins", padded.join_features, padded.join_mask),
+            ("predicates", padded.predicate_features, padded.predicate_mask),
+        ):
+            ragged_set = getattr(ragged, set_name)
+            for query_index in range(len(queries)):
+                real = padded_mask[query_index].astype(bool)
+                np.testing.assert_array_equal(
+                    padded_features[query_index][real],
+                    ragged_set.features[
+                        ragged_set.offsets[query_index] : ragged_set.offsets[query_index + 1]
+                    ],
+                    err_msg=f"{name}:{set_name}:{query_index}",
+                )

@@ -133,3 +133,48 @@ class TestIMDbSchema:
         schema = imdb_schema()
         assert "production_year" in schema.table("title").non_key_columns
         assert "id" not in schema.table("title").non_key_columns
+
+
+class TestJoinGraphMetadata:
+    def test_simple_schema_metadata(self):
+        schema = simple_schema()
+        assert schema.join_components() == (frozenset({"users", "orders"}),)
+        assert schema.join_component_sizes() == {"users": 2, "orders": 2}
+        assert schema.max_joins_per_query() == 1
+        assert schema.join_diameter() == 1
+
+    def test_star_schema_metadata(self):
+        schema = imdb_schema()
+        assert schema.max_joins_per_query() == 5
+        assert schema.join_diameter() == 2  # fact - title - fact
+
+    def test_schema_without_foreign_keys(self):
+        lonely = Schema(
+            tables=(TableSchema("lonely", (ColumnSchema("id", "primary_key"),)),)
+        )
+        assert lonely.join_components() == ()
+        assert lonely.max_joins_per_query() == 0
+        assert lonely.join_diameter() == 0
+
+    def test_two_disconnected_components(self):
+        a = TableSchema("a", (ColumnSchema("id", "primary_key"),))
+        b = TableSchema("b", (ColumnSchema("id", "primary_key"), ColumnSchema("a_id", "foreign_key")))
+        c = TableSchema("c", (ColumnSchema("id", "primary_key"),))
+        d = TableSchema("d", (ColumnSchema("id", "primary_key"), ColumnSchema("c_id", "foreign_key")))
+        e = TableSchema("e", (ColumnSchema("id", "primary_key"), ColumnSchema("c_id", "foreign_key")))
+        schema = Schema(
+            tables=(a, b, c, d, e),
+            foreign_keys=(
+                ForeignKey("b", "a_id", "a", "id"),
+                ForeignKey("d", "c_id", "c", "id"),
+                ForeignKey("e", "c_id", "c", "id"),
+            ),
+        )
+        assert set(schema.join_components()) == {
+            frozenset({"a", "b"}),
+            frozenset({"c", "d", "e"}),
+        }
+        # Four edges total would naively suggest more, but one query can only
+        # connect the largest component: two joins.
+        assert schema.max_joins_per_query() == 2
+        assert schema.join_diameter() == 2

@@ -43,3 +43,37 @@ class TestScaleWorkload:
         config = ScaleWorkloadConfig(queries_per_join_count=4, max_joins=2, seed=5)
         workload = generate_scale_workload(tiny_database, config)
         assert all(labelled.cardinality > 0 for labelled in workload)
+
+
+class TestScaleWorkloadForSpec:
+    def test_forum_spec_reaches_five_join_strata(self):
+        from repro.datasets import get_dataset
+        from repro.workload.scale import generate_scale_workload_for_spec
+
+        spec = get_dataset("forum")
+        database = spec.generate(scale=0.04, seed=3)
+        workload = generate_scale_workload_for_spec(
+            spec, database, queries_per_join_count=3, seed=7
+        )
+        grouped = split_by_joins(workload)
+        assert set(grouped) == {0, 1, 2, 3, 4, 5}
+        assert all(len(queries) == 3 for queries in grouped.values())
+
+    def test_recommendation_is_clamped_to_the_join_graph(self, tiny_database):
+        from repro.datasets import get_dataset
+        from repro.datasets.spec import DatasetSpec, WorkloadRecommendation
+        from repro.workload.scale import generate_scale_workload_for_spec
+
+        imdb = get_dataset("imdb")
+        ambitious = DatasetSpec(
+            name="ambitious-imdb",
+            description="over-recommends joins",
+            topology="star",
+            schema_factory=imdb.schema_factory,
+            generator=imdb.generator,
+            workload=WorkloadRecommendation(scale_max_joins=99),
+        )
+        workload = generate_scale_workload_for_spec(
+            ambitious, tiny_database, queries_per_join_count=2, seed=9
+        )
+        assert max(split_by_joins(workload)) == 5
