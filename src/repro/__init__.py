@@ -27,6 +27,11 @@ contribution:
     Index-Based Join Sampling, plus a true-cardinality oracle.
 ``repro.evaluation``
     Q-error metrics, workload runners and paper-style report formatting.
+``repro.optimizer``
+    The downstream consumer the paper targets: DPsize join-order enumeration
+    over connected subgraphs, a C_out cost model and plan-quality metrics
+    (cost of the plan chosen under estimated cardinalities vs. the
+    true-cardinality-optimal plan).
 ``repro.serving``
     The traffic-facing estimation service: signature-keyed result caching,
     micro-batch coalescing of concurrent callers, uncertainty-routed fallback
@@ -43,6 +48,12 @@ from repro.datasets.imdb import SyntheticIMDbConfig, generate_imdb
 from repro.datasets.registry import dataset_names, get_dataset, register_dataset
 from repro.datasets.spec import DatasetSpec, WorkloadRecommendation
 from repro.evaluation.metrics import QErrorSummary, q_error, summarize_q_errors
+from repro.optimizer import (
+    JoinTree,
+    Plan,
+    enumerate_optimal_plan,
+    evaluate_plan_quality,
+)
 from repro.serving import EstimationService, ModelRegistry, ServiceConfig
 from repro.workload.generator import QueryGenerator, WorkloadConfig
 
@@ -71,6 +82,10 @@ __all__ = [
     "QErrorSummary",
     "q_error",
     "summarize_q_errors",
+    "JoinTree",
+    "Plan",
+    "enumerate_optimal_plan",
+    "evaluate_plan_quality",
     "QueryGenerator",
     "WorkloadConfig",
     "EstimationService",

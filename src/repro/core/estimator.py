@@ -33,6 +33,7 @@ from repro.core.normalization import CardinalityNormalizer, ValueNormalizer
 from repro.core.trainer import MSCNTrainer, TrainingResult
 from repro.db.query import Query
 from repro.db.sampling import MaterializedSamples
+from repro.estimators.base import subplan_map
 from repro.db.table import Database
 from repro.nn.serialization import load_state_dict, save_state_dict, state_dict_num_bytes
 from repro.utils.rng import spawn_rng
@@ -225,6 +226,28 @@ class MSCNEstimator:
         if not queries:
             return np.empty(0, dtype=np.float64)
         return trainer.predict(self.serving_dataset(queries))
+
+    def estimate_subplans(self, query: Query) -> dict[frozenset[str], float]:
+        """Estimates for every connected sub-plan of ``query``, batched.
+
+        The optimizer-facing fan-out path: the sub-queries are derived once
+        (``Query.connected_subqueries``) and featurized together into a
+        single ragged dataset — sub-plans share base tables and predicates,
+        so the one-hot gathers are amortized and the sample-bitmap probes hit
+        the shared bitmap cache.  Inference then runs the fused engine in
+        per-sub-plan chunks rather than one big matrix: BLAS kernels are
+        selected by operand shape, so only shape-matched chunks make the
+        batch path **bit-identical** to per-sub-query :meth:`estimate` calls
+        — the guarantee an optimizer needs for its costs to be reproducible
+        regardless of how estimates were batched.  (Featurization dominates
+        this path's latency; the whole-batch fused pass remains the serving
+        default via :meth:`estimate_many`/:meth:`estimate_featurized`.)
+        """
+        trainer = self._require_trained()
+        subqueries = query.connected_subqueries()
+        return subplan_map(
+            subqueries, trainer.predict(self.serving_dataset(subqueries), batch_size=1)
+        )
 
     def estimate_featurized(self, features) -> np.ndarray:
         """Estimated cardinalities for already-featurized queries.

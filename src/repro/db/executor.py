@@ -20,7 +20,8 @@ reference implementation is included for correctness testing on tiny inputs.
 from __future__ import annotations
 
 import itertools
-from collections import defaultdict
+import threading
+from collections import OrderedDict, defaultdict
 
 import numpy as np
 
@@ -55,10 +56,27 @@ def _lookup_totals(unique_keys: np.ndarray, totals: np.ndarray, probe_keys: np.n
 
 
 class CardinalityExecutor:
-    """Computes exact COUNT(*) results for queries against a database."""
+    """Computes exact COUNT(*) results for queries against a database.
 
-    def __init__(self, database: Database):
+    ``cache_capacity`` enables signature-keyed LRU memoization of results:
+    plan enumeration and repeated scenario runs execute the same connected
+    sub-plans over and over (the executor is the by-far dominant cost of
+    plan-quality evaluation), and a query's :meth:`~repro.db.query.Query.signature`
+    is a sound memo key because the database snapshot is immutable.  The
+    cache is thread-safe; ``cache_hits``/``cache_misses`` count lookups.
+    """
+
+    def __init__(self, database: Database, cache_capacity: int | None = None):
         self.database = database
+        if cache_capacity is not None and cache_capacity <= 0:
+            raise ValueError("cache_capacity must be positive (or None to disable)")
+        self._cache_capacity = cache_capacity
+        self._cache: OrderedDict[tuple, int] | None = (
+            OrderedDict() if cache_capacity is not None else None
+        )
+        self._cache_lock = threading.Lock()
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # ------------------------------------------------------------------
     def execute(self, query: Query) -> int:
@@ -68,6 +86,25 @@ class CardinalityExecutor:
         components (the workload generators never produce them, but the
         semantics are well defined).
         """
+        if self._cache is None:
+            return self._execute_uncached(query)
+        signature = query.signature()
+        with self._cache_lock:
+            cached = self._cache.get(signature)
+            if cached is not None:
+                self._cache.move_to_end(signature)
+                self.cache_hits += 1
+                return cached
+            self.cache_misses += 1
+        result = self._execute_uncached(query)
+        with self._cache_lock:
+            self._cache[signature] = result
+            self._cache.move_to_end(signature)
+            while len(self._cache) > self._cache_capacity:
+                self._cache.popitem(last=False)
+        return result
+
+    def _execute_uncached(self, query: Query) -> int:
         query.validate_against(self.database.schema)
         qualifying_rows = {
             table: self._qualifying_rows(query, table) for table in query.tables

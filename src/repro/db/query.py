@@ -190,6 +190,97 @@ class Query:
                     frontier.append(neighbour)
         return len(seen) == len(self.tables)
 
+    # -- sub-plan derivation ---------------------------------------------
+    def subquery(self, tables: Iterable[str]) -> "Query":
+        """The query restricted to a subset of its tables.
+
+        The sub-query keeps every join whose two endpoints lie inside the
+        subset and every predicate on a subset table; table order follows the
+        parent query, so derivation is deterministic.  This is the primitive
+        a join-order optimizer fans out over: each connected sub-plan of a
+        query is exactly ``query.subquery(subset)`` for a connected subset of
+        its join graph.
+        """
+        subset = set(tables)
+        if not subset:
+            raise ValueError("a sub-query must keep at least one table")
+        missing = subset - set(self.tables)
+        if missing:
+            raise ValueError(
+                f"sub-query tables {sorted(missing)} are not part of the query {self.tables}"
+            )
+        kept_tables = tuple(table for table in self.tables if table in subset)
+        return Query(
+            tables=kept_tables,
+            joins=tuple(join for join in self.joins if join.tables <= subset),
+            predicates=tuple(p for p in self.predicates if p.table in subset),
+        )
+
+    def connected_table_subsets(self) -> tuple[frozenset[str], ...]:
+        """Every non-empty, join-connected subset of the query's tables.
+
+        These are the sub-plans a dynamic-programming join enumerator must
+        cost (DPsize's table of connected subgraphs).  Singletons are always
+        connected; larger subsets qualify iff the query's join edges restricted
+        to the subset connect it.  Deterministic order: increasing subset size,
+        then by the parent query's table order.  Memoized — plan enumeration,
+        batched estimation and plan-quality evaluation all walk the same sets.
+        """
+        cached = self.__dict__.get("_connected_subsets")
+        if cached is None:
+            cached = self._derive_connected_subsets()
+            object.__setattr__(self, "_connected_subsets", cached)
+        return cached
+
+    def _derive_connected_subsets(self) -> tuple[frozenset[str], ...]:
+        order = {table: position for position, table in enumerate(self.tables)}
+        adjacency = [0] * len(self.tables)
+        for join in self.joins:
+            left = order[join.left_table]
+            right = order[join.right_table]
+            adjacency[left] |= 1 << right
+            adjacency[right] |= 1 << left
+        subsets: list[tuple[int, int]] = []  # (popcount, mask), sorted later
+        for mask in range(1, 1 << len(self.tables)):
+            if self._mask_is_connected(mask, adjacency):
+                subsets.append((mask.bit_count(), mask))
+        subsets.sort()
+        return tuple(
+            frozenset(
+                table for position, table in enumerate(self.tables) if mask >> position & 1
+            )
+            for _, mask in subsets
+        )
+
+    @staticmethod
+    def _mask_is_connected(mask: int, adjacency: list[int]) -> bool:
+        start = mask & -mask  # lowest set bit
+        seen = start
+        frontier = start
+        while frontier:
+            position = frontier.bit_length() - 1
+            frontier &= ~(1 << position)
+            reachable = adjacency[position] & mask & ~seen
+            seen |= reachable
+            frontier |= reachable
+        return seen == mask
+
+    def connected_subqueries(self) -> tuple["Query", ...]:
+        """One sub-query per connected subset, aligned with
+        :meth:`connected_table_subsets`.
+
+        The last element is the query itself whenever the query is connected
+        (the full table set is then the largest connected subset).  Memoized:
+        estimators batch these through one fused pass, the optimizer costs
+        them, and the serving cache keys on their signatures — deriving them
+        once per immutable query keeps all three consumers aligned.
+        """
+        cached = self.__dict__.get("_connected_subqueries")
+        if cached is None:
+            cached = tuple(self.subquery(subset) for subset in self.connected_table_subsets())
+            object.__setattr__(self, "_connected_subqueries", cached)
+        return cached
+
     def to_sql(self) -> str:
         """Render the query as SQL text (for logging and examples)."""
         from_clause = ", ".join(self.tables)

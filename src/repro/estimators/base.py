@@ -3,13 +3,25 @@
 from __future__ import annotations
 
 import abc
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.db.query import Query
+from repro.db.query import JoinCondition, Predicate, Query
 
-__all__ = ["CardinalityEstimator"]
+__all__ = ["CardinalityEstimator", "product_form_estimates", "subplan_map"]
+
+
+def subplan_map(
+    subqueries: Sequence[Query], estimates: Sequence[float]
+) -> dict[frozenset[str], float]:
+    """Assemble the sub-plan table-set → estimate mapping every
+    ``estimate_subplans`` implementation returns (one shared shape, so the
+    optimizer's consumers cannot drift apart)."""
+    return {
+        frozenset(subquery.tables): float(estimate)
+        for subquery, estimate in zip(subqueries, estimates)
+    }
 
 
 class CardinalityEstimator(abc.ABC):
@@ -35,3 +47,64 @@ class CardinalityEstimator(abc.ABC):
         this method, so vectorized subclass overrides are used end-to-end.
         """
         return np.array([self.estimate(query) for query in queries], dtype=np.float64)
+
+    def estimate_subplans(self, query: Query) -> dict[frozenset[str], float]:
+        """Estimates for every connected sub-plan of ``query``, batched.
+
+        A join-order optimizer never asks for one cardinality: it costs every
+        connected subgraph of the query it is planning.  This method derives
+        the sub-queries once (``Query.connected_subqueries``) and answers them
+        through a single :meth:`estimate_many` call, so estimators with a
+        vectorized batch path (MSCN's fused pass, the dedup-batched baselines)
+        serve the whole fan-out in one shot.  Keys are sub-plan table sets;
+        the full query's own estimate is included under ``frozenset(tables)``.
+        """
+        subqueries = query.connected_subqueries()
+        return subplan_map(subqueries, self.estimate_many(subqueries))
+
+
+def product_form_estimates(
+    queries: Sequence[Query],
+    base_table_estimate: Callable[[str, tuple[Predicate, ...]], float],
+    join_selectivity: Callable[[JoinCondition], float],
+) -> np.ndarray:
+    """Batched evaluation for product-form estimators (PostgreSQL-style, RS).
+
+    Both classical baselines estimate ``∏ base-table estimates × ∏ join
+    selectivities``.  Under sub-plan fan-out the same ``(table, predicate
+    set)`` pair recurs in up to ``2^(n-1)`` sub-plans of one query and every
+    join edge recurs in half of them, so the batch path computes each unique
+    base-table estimate and join selectivity **once** and assembles per-query
+    products from the memo — identical floating-point multiplication order to
+    the per-query ``estimate`` path, so results are bit-identical to it.
+    """
+    base_cache: dict[tuple, float] = {}
+    join_cache: dict[str, float] = {}
+    results = np.empty(len(queries), dtype=np.float64)
+    for position, query in enumerate(queries):
+        estimate = 1.0
+        for table in query.tables:
+            predicates = query.predicates_on(table)
+            # The key keeps the predicates' presented order: selectivities are
+            # multiplied in that order, so two permutations of one predicate
+            # set may differ in the last ulp — sharing one factor across them
+            # would break the bit-identity-with-estimate() guarantee.  Fan-out
+            # traffic derives every sub-plan from one parent query, so the
+            # order is consistent and dedup is unaffected.
+            key = (table, tuple(
+                (p.column, p.operator.value, p.value) for p in predicates
+            ))
+            factor = base_cache.get(key)
+            if factor is None:
+                factor = base_table_estimate(table, predicates)
+                base_cache[key] = factor
+            estimate *= factor
+        for join in query.joins:
+            canonical = join.canonical
+            factor = join_cache.get(canonical)
+            if factor is None:
+                factor = join_selectivity(join)
+                join_cache[canonical] = factor
+            estimate *= factor
+        results[position] = max(estimate, 1.0)
+    return results

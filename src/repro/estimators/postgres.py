@@ -16,10 +16,14 @@ Figure 3 and Table 2 of the paper show for PostgreSQL.
 
 from __future__ import annotations
 
-from repro.db.query import Query
+from typing import Sequence
+
+import numpy as np
+
+from repro.db.query import Predicate, Query
 from repro.db.statistics import DatabaseStatistics
 from repro.db.table import Database
-from repro.estimators.base import CardinalityEstimator
+from repro.estimators.base import CardinalityEstimator, product_form_estimates
 
 __all__ = ["PostgresEstimator"]
 
@@ -54,9 +58,11 @@ class PostgresEstimator(CardinalityEstimator):
     # ------------------------------------------------------------------
     def base_table_estimate(self, query: Query, table: str) -> float:
         """Estimated filtered cardinality of one base table."""
+        return self._base_estimate(table, query.predicates_on(table))
+
+    def _base_estimate(self, table: str, predicates: Sequence[Predicate]) -> float:
         table_statistics = self.statistics.table(table)
-        predicates = list(query.predicates_on(table))
-        selectivity = self.statistics.conjunction_selectivity(predicates)
+        selectivity = self.statistics.conjunction_selectivity(list(predicates))
         return max(table_statistics.row_count * selectivity, 1.0)
 
     def join_selectivity(self, join) -> float:
@@ -73,3 +79,13 @@ class PostgresEstimator(CardinalityEstimator):
         for join in query.joins:
             estimate *= self.join_selectivity(join)
         return max(estimate, 1.0)
+
+    def estimate_many(self, queries: Sequence[Query]) -> np.ndarray:
+        """Batched estimation with per-batch memoization.
+
+        Sub-plan fan-out (``estimate_subplans``) repeats the same base-table
+        predicate sets and join edges across sub-plans; each unique one is
+        evaluated against the statistics once per batch.  Results are
+        bit-identical to per-query :meth:`estimate` calls.
+        """
+        return product_form_estimates(queries, self._base_estimate, self.join_selectivity)

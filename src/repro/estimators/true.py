@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+from typing import Sequence
+
+import numpy as np
+
 from repro.db.executor import CardinalityExecutor
 from repro.db.query import Query
 from repro.db.table import Database
@@ -14,13 +18,33 @@ class TrueCardinalityEstimator(CardinalityEstimator):
     """Returns the true cardinality by executing the query.
 
     Its q-error is exactly 1 on every query, which makes it useful as a
-    reference point in tests of the evaluation harness.
+    reference point in tests of the evaluation harness — and it is the
+    *truth side* of plan-quality evaluation, where every connected sub-plan
+    of every query must be executed.  Results are therefore memoized in a
+    signature-keyed bounded LRU by default: plan enumeration re-asks for
+    shared sub-plans constantly, and repeated scenario runs over one
+    database snapshot re-execute nothing.  Pass ``cache_capacity=None`` to
+    execute every call.
     """
 
     name = "True cardinality"
 
-    def __init__(self, database: Database):
-        self._executor = CardinalityExecutor(database)
+    def __init__(self, database: Database, cache_capacity: int | None = 65536):
+        self._executor = CardinalityExecutor(database, cache_capacity=cache_capacity)
+
+    @property
+    def cache_hits(self) -> int:
+        """Executions avoided by the signature-keyed memo."""
+        return self._executor.cache_hits
+
+    @property
+    def cache_misses(self) -> int:
+        return self._executor.cache_misses
 
     def estimate(self, query: Query) -> float:
         return float(max(self._executor.execute(query), 1))
+
+    def estimate_many(self, queries: Sequence[Query]) -> np.ndarray:
+        """Executes (or recalls) each query; memoization dedupes within the
+        batch as well as across calls."""
+        return np.array([self.estimate(query) for query in queries], dtype=np.float64)

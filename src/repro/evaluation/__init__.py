@@ -29,6 +29,7 @@ from repro.evaluation.scenarios import (
     mscn_factory,
     run_scenarios,
 )
+from repro.optimizer.quality import PlanQualityReport, PlanQualitySummary, evaluate_plan_quality
 
 __all__ = [
     "Scenario",
@@ -50,4 +51,7 @@ __all__ = [
     "format_summary_table",
     "format_join_breakdown",
     "format_workload_distribution",
+    "PlanQualityReport",
+    "PlanQualitySummary",
+    "evaluate_plan_quality",
 ]

@@ -25,11 +25,20 @@ def q_error(estimate: float, true_cardinality: float) -> float:
 
 
 def q_errors(estimates: Sequence[float], true_cardinalities: Sequence[float]) -> np.ndarray:
-    """Vector of q-errors for aligned estimates and true cardinalities."""
-    estimates = np.maximum(np.asarray(estimates, dtype=np.float64), 1.0)
-    true_cardinalities = np.maximum(np.asarray(true_cardinalities, dtype=np.float64), 1.0)
+    """Vector of q-errors for aligned estimates and true cardinalities.
+
+    Raises ``ValueError`` on empty inputs: an empty workload has no q-error
+    distribution, and silently returning an empty vector only defers the
+    failure to a numpy warning in the downstream percentile summary.
+    """
+    estimates = np.asarray(estimates, dtype=np.float64)
+    true_cardinalities = np.asarray(true_cardinalities, dtype=np.float64)
+    if estimates.size == 0 or true_cardinalities.size == 0:
+        raise ValueError("cannot compute q-errors for an empty workload")
     if estimates.shape != true_cardinalities.shape:
         raise ValueError("estimates and true cardinalities must have the same length")
+    estimates = np.maximum(estimates, 1.0)
+    true_cardinalities = np.maximum(true_cardinalities, 1.0)
     return np.maximum(estimates / true_cardinalities, true_cardinalities / estimates)
 
 
@@ -40,9 +49,11 @@ def signed_ratio(estimates: Sequence[float], true_cardinalities: Sequence[float]
     scale, with under-estimation below the ``1`` line and over-estimation
     above it.
     """
-    estimates = np.maximum(np.asarray(estimates, dtype=np.float64), 1.0)
-    true_cardinalities = np.maximum(np.asarray(true_cardinalities, dtype=np.float64), 1.0)
-    return estimates / true_cardinalities
+    estimates = np.asarray(estimates, dtype=np.float64)
+    true_cardinalities = np.asarray(true_cardinalities, dtype=np.float64)
+    if estimates.size == 0 or true_cardinalities.size == 0:
+        raise ValueError("cannot compute signed ratios for an empty workload")
+    return np.maximum(estimates, 1.0) / np.maximum(true_cardinalities, 1.0)
 
 
 @dataclass(frozen=True)
@@ -73,7 +84,10 @@ def summarize_q_errors(errors: Sequence[float]) -> QErrorSummary:
     """Percentile summary of a q-error distribution."""
     errors = np.asarray(errors, dtype=np.float64)
     if errors.size == 0:
-        raise ValueError("cannot summarize an empty q-error distribution")
+        raise ValueError(
+            "cannot summarize an empty q-error distribution; the workload "
+            "contributed no queries (was it filtered down to nothing?)"
+        )
     return QErrorSummary(
         count=int(errors.size),
         median=float(np.percentile(errors, 50)),

@@ -9,6 +9,13 @@ number of estimators — learned or baseline — can then be run over the full
 ``datasets x workloads`` matrix and summarized as per-scenario q-error
 tables, the cross-schema analogue of the paper's Tables 2-4.
 
+Every cell additionally reports **plan quality** (the paper's motivating
+metric): the estimator's sub-plan cardinalities drive the DPsize join
+enumerator, the chosen plan is re-costed under true cardinalities and
+compared against the true-cardinality-optimal plan — so the matrix answers
+"do better estimates actually produce cheaper plans?" per dataset and
+workload, not just "are the estimates close?".
+
 Estimators are supplied as *factories* ``(Scenario) -> CardinalityEstimator``
 because a learned estimator must be trained per scenario (its vocabularies
 are derived from the scenario's schema); baselines simply close over the
@@ -27,8 +34,10 @@ from repro.datasets.spec import DatasetSpec
 from repro.db.sampling import MaterializedSamples
 from repro.db.table import Database
 from repro.estimators.base import CardinalityEstimator
+from repro.estimators.true import TrueCardinalityEstimator
 from repro.evaluation.metrics import QErrorSummary
 from repro.evaluation.runner import EvaluationResult, evaluate_estimator
+from repro.optimizer.quality import PlanQualitySummary, evaluate_plan_quality
 from repro.workload.generator import (
     LabelledQuery,
     generate_evaluation_workload,
@@ -71,12 +80,25 @@ class ScenarioConfig:
     scale_queries_per_join_count: int = 20
     training_seed: int = 21
     evaluation_seed: int = 99
+    #: Plan-quality dimension: drive the DPsize enumerator with each
+    #: estimator's sub-plan estimates and report the induced plan-cost ratio
+    #: next to q-error.  ``plan_quality_min_joins`` skips queries whose join
+    #: order cannot matter (< 2 joins ⇒ every plan has the same C_out cost);
+    #: ``plan_quality_max_queries`` bounds the per-cell true-cardinality
+    #: labelling work (sub-plans are memoized across estimators anyway).
+    include_plan_quality: bool = True
+    plan_quality_max_queries: int = 40
+    plan_quality_min_joins: int = 2
 
     def __post_init__(self) -> None:
         if self.dataset_scale <= 0:
             raise ValueError("dataset_scale must be positive")
         if self.num_training_queries <= 0 or self.num_eval_queries <= 0:
             raise ValueError("workload sizes must be positive")
+        if self.plan_quality_max_queries <= 0:
+            raise ValueError("plan_quality_max_queries must be positive")
+        if self.plan_quality_min_joins < 0:
+            raise ValueError("plan_quality_min_joins must be non-negative")
 
     def selected_specs(self) -> tuple[DatasetSpec, ...]:
         if not self.datasets:
@@ -99,6 +121,7 @@ class Scenario:
     config: ScenarioConfig
     evaluation_workloads: dict[str, list[LabelledQuery]] = field(default_factory=dict)
     _training_workload: list[LabelledQuery] | None = field(default=None, repr=False)
+    _true_estimator: TrueCardinalityEstimator | None = field(default=None, repr=False)
 
     @property
     def name(self) -> str:
@@ -115,16 +138,34 @@ class Scenario:
             )
         return self._training_workload
 
+    @property
+    def true_estimator(self) -> TrueCardinalityEstimator:
+        """The scenario's memoized truth oracle (built lazily, shared).
+
+        Plan-quality evaluation executes every connected sub-plan of every
+        eligible query; sharing one signature-memoized oracle across all
+        estimators and workloads of the scenario executes each sub-plan once.
+        """
+        if self._true_estimator is None:
+            self._true_estimator = TrueCardinalityEstimator(self.database)
+        return self._true_estimator
+
 
 @dataclass(frozen=True)
 class ScenarioResult:
-    """One cell of the evaluation matrix: estimator x dataset x workload."""
+    """One cell of the evaluation matrix: estimator x dataset x workload.
+
+    ``plan_quality`` is the induced-plan-cost view of the same cell (``None``
+    when the dimension is disabled or the workload has no queries whose join
+    order can matter).
+    """
 
     dataset: str
     workload: str
     estimator_name: str
     summary: QErrorSummary
     result: EvaluationResult
+    plan_quality: PlanQualitySummary | None = None
 
     @property
     def num_queries(self) -> int:
@@ -198,9 +239,33 @@ def run_scenarios(
                         estimator_name=label or evaluation.estimator_name,
                         summary=evaluation.summary(),
                         result=evaluation,
+                        plan_quality=_plan_quality_summary(scenario, estimator, workload),
                     )
                 )
     return results
+
+
+def _plan_quality_summary(
+    scenario: Scenario, estimator, workload: list[LabelledQuery]
+) -> PlanQualitySummary | None:
+    """Plan-quality summary of one matrix cell (``None`` when not applicable)."""
+    config = scenario.config
+    if not config.include_plan_quality:
+        return None
+    eligible = [
+        labelled.query
+        for labelled in workload
+        if labelled.query.num_joins >= config.plan_quality_min_joins
+    ][: config.plan_quality_max_queries]
+    if not eligible:
+        return None
+    report = evaluate_plan_quality(
+        estimator,
+        scenario.true_estimator,
+        eligible,
+        min_joins=config.plan_quality_min_joins,
+    )
+    return report.summary() if report.results else None
 
 
 def mscn_factory(config: MSCNConfig | None = None) -> EstimatorFactory:
@@ -220,10 +285,14 @@ def mscn_factory(config: MSCNConfig | None = None) -> EstimatorFactory:
 
 
 def format_scenario_matrix(results: list[ScenarioResult], title: str = "") -> str:
-    """Render scenario results as per-scenario q-error tables.
+    """Render scenario results as per-scenario q-error (and plan-cost) tables.
 
     One row per ``dataset / workload / estimator`` cell with the paper's
-    q-error columns (median, 90th/95th/99th percentile, max, mean).
+    q-error columns (median, 90th/95th/99th percentile, max, mean).  When any
+    cell carries plan-quality results, three more columns report the induced
+    plan-cost ratio (true cost of the estimator-chosen plan over the optimal
+    plan's): its median and maximum over the cell's multi-join queries plus
+    ``opt%``, the fraction of queries where the chosen plan *is* optimal.
     """
 
     def _value(value: float) -> str:
@@ -235,10 +304,13 @@ def format_scenario_matrix(results: list[ScenarioResult], title: str = "") -> st
             return f"{value:.1f}"
         return f"{value:.2f}"
 
+    with_plans = any(entry.plan_quality is not None for entry in results)
     header = (
         f"{'dataset':<10} {'workload':<10} {'estimator':<26} {'queries':>7} "
         f"{'median':>8} {'90th':>8} {'95th':>8} {'99th':>8} {'max':>10} {'mean':>8}"
     )
+    if with_plans:
+        header += f" {'plan·med':>9} {'plan·max':>9} {'opt%':>6}"
     lines = []
     if title:
         lines.append(title)
@@ -246,9 +318,19 @@ def format_scenario_matrix(results: list[ScenarioResult], title: str = "") -> st
     lines.append("-" * len(header))
     for entry in sorted(results, key=lambda r: (r.dataset, r.workload, r.estimator_name)):
         median, p90, p95, p99, maximum, mean = entry.summary.as_row()
-        lines.append(
+        line = (
             f"{entry.dataset:<10} {entry.workload:<10} {entry.estimator_name:<26} "
             f"{entry.num_queries:>7} {_value(median):>8} {_value(p90):>8} "
             f"{_value(p95):>8} {_value(p99):>8} {_value(maximum):>10} {_value(mean):>8}"
         )
+        if with_plans:
+            quality = entry.plan_quality
+            if quality is None:
+                line += f" {'—':>9} {'—':>9} {'—':>6}"
+            else:
+                line += (
+                    f" {_value(quality.median):>9} {_value(quality.maximum):>9} "
+                    f"{100.0 * quality.fraction_optimal:>5.0f}%"
+                )
+        lines.append(line)
     return "\n".join(lines)

@@ -1,0 +1,176 @@
+"""Dynamic-programming join enumeration (DPsize over connected subgraphs).
+
+Given one query's join graph and a cardinality function covering its
+connected sub-plans, :func:`enumerate_optimal_plan` builds the cheapest
+binary join tree under the C_out cost model by the classic DPsize
+recurrence: the best plan for a connected table set ``S`` is the cheapest
+combination of best plans for a partition ``S = S₁ ∪ S₂`` where both parts
+are connected and a join edge crosses them (no cross products).
+
+Sub-plan identities are bitmasks over the query's table order, so the DP
+table and the submask enumeration are integer arithmetic; queries in this
+repo join a handful of tables, so exhaustive connected-subgraph DP is
+exact and effectively free next to one model forward pass.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.db.query import Query
+from repro.optimizer.cost import cout_cost
+from repro.optimizer.plan import JoinTree, Plan
+
+__all__ = ["enumerate_optimal_plan", "all_join_trees"]
+
+
+def _table_masks(query: Query) -> tuple[dict[str, int], list[int]]:
+    """Per-table bit positions and per-table adjacency masks."""
+    order = {table: position for position, table in enumerate(query.tables)}
+    adjacency = [0] * len(query.tables)
+    for join in query.joins:
+        left = order[join.left_table]
+        right = order[join.right_table]
+        adjacency[left] |= 1 << right
+        adjacency[right] |= 1 << left
+    return order, adjacency
+
+
+def _mask_tables(query: Query, mask: int) -> frozenset[str]:
+    return frozenset(
+        table for position, table in enumerate(query.tables) if mask >> position & 1
+    )
+
+
+def _connected_subset_masks(query: Query, order: dict[str, int]) -> list[int]:
+    """Bitmasks of the multi-table connected subsets, smallest first.
+
+    Reuses the query's memoized subset enumeration, which is already sorted
+    by size — the DPsize invariant that every partition's parts are solved
+    before their union is visited.
+    """
+    masks = []
+    for subset in query.connected_table_subsets():
+        if len(subset) >= 2:
+            mask = 0
+            for table in subset:
+                mask |= 1 << order[table]
+            masks.append(mask)
+    return masks
+
+
+def _has_cross_edge(submask: int, complement: int, adjacency: list[int]) -> bool:
+    """Whether a join edge connects the two halves of a partition."""
+    reach = 0
+    probe = submask
+    while probe:
+        position = probe.bit_length() - 1
+        probe &= ~(1 << position)
+        reach |= adjacency[position]
+    return bool(reach & complement)
+
+
+def enumerate_optimal_plan(
+    query: Query, cardinalities: Mapping[frozenset[str], float]
+) -> Plan:
+    """The C_out-optimal join tree of ``query`` under ``cardinalities``.
+
+    ``cardinalities`` maps connected sub-plan table sets to (estimated or
+    true) result sizes — the shape ``estimate_subplans`` returns.  Ties are
+    broken deterministically towards the plan found first in submask order,
+    so identical inputs always yield the identical tree.
+
+    Raises ``ValueError`` for disconnected queries (an optimizer that
+    avoids cross products cannot plan them) and ``KeyError`` when a needed
+    sub-plan cardinality is missing.
+    """
+    if not query.is_connected():
+        raise ValueError(
+            "join enumeration requires a connected join graph; "
+            f"query {query.tables} contains a cross product"
+        )
+    if len(query.tables) == 1:
+        tree = JoinTree.leaf(query.tables[0])
+        return Plan(tree=tree, cost=0.0, cardinalities=dict(cardinalities))
+
+    order, adjacency = _table_masks(query)
+    best: dict[int, tuple[float, JoinTree]] = {}
+    for position, table in enumerate(query.tables):
+        best[1 << position] = (0.0, JoinTree.leaf(table))
+
+    for mask in _connected_subset_masks(query, order):
+        tables = _mask_tables(query, mask)
+        try:
+            output_cardinality = float(cardinalities[tables])
+        except KeyError:
+            raise KeyError(
+                f"no cardinality for sub-plan {tuple(sorted(tables))}; "
+                "estimate_subplans must cover every connected sub-plan"
+            ) from None
+        champion: tuple[float, JoinTree] | None = None
+        # Enumerate unordered partitions once by anchoring the lowest bit in
+        # the left part; commutative mirrors would only duplicate work.
+        lowest = mask & -mask
+        submask = (mask - 1) & mask
+        while submask:
+            if submask & lowest:
+                complement = mask ^ submask
+                left_solved = best.get(submask)
+                right_solved = best.get(complement)
+                if (
+                    left_solved is not None
+                    and right_solved is not None
+                    and _has_cross_edge(submask, complement, adjacency)
+                ):
+                    cost = left_solved[0] + right_solved[0] + output_cardinality
+                    if champion is None or cost < champion[0]:
+                        champion = (cost, JoinTree.join(left_solved[1], right_solved[1]))
+            submask = (submask - 1) & mask
+        if champion is None:  # pragma: no cover - connected subsets always split
+            raise RuntimeError(f"no connected partition found for {sorted(tables)}")
+        best[mask] = champion
+
+    full_mask = (1 << len(query.tables)) - 1
+    cost, tree = best[full_mask]
+    return Plan(tree=tree, cost=cost, cardinalities=dict(cardinalities))
+
+
+def all_join_trees(query: Query) -> list[JoinTree]:
+    """Every cross-product-free join tree of a connected query.
+
+    Exhaustive (Catalan-sized) — used by tests and tiny-workload analyses to
+    certify the DP against brute force, and by examples to show how much of
+    the search space a bad estimate misprices.  Commutative mirrors are
+    deduplicated via :meth:`JoinTree.canonical`.
+    """
+    if not query.is_connected():
+        raise ValueError("join enumeration requires a connected join graph")
+    order, adjacency = _table_masks(query)
+
+    trees_by_mask: dict[int, list[JoinTree]] = {}
+    for position, table in enumerate(query.tables):
+        trees_by_mask[1 << position] = [JoinTree.leaf(table)]
+
+    for mask in _connected_subset_masks(query, order):
+        found: dict[tuple, JoinTree] = {}
+        lowest = mask & -mask
+        submask = (mask - 1) & mask
+        while submask:
+            if submask & lowest:
+                complement = mask ^ submask
+                left_trees = trees_by_mask.get(submask)
+                right_trees = trees_by_mask.get(complement)
+                if (
+                    left_trees
+                    and right_trees
+                    and _has_cross_edge(submask, complement, adjacency)
+                ):
+                    for left in left_trees:
+                        for right in right_trees:
+                            tree = JoinTree.join(left, right)
+                            found.setdefault(tree.canonical(), tree)
+            submask = (submask - 1) & mask
+        trees_by_mask[mask] = list(found.values())
+
+    full_mask = (1 << len(query.tables)) - 1
+    return trees_by_mask[full_mask]

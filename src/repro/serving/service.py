@@ -39,7 +39,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.db.query import Query
-from repro.estimators.base import CardinalityEstimator
+from repro.estimators.base import CardinalityEstimator, subplan_map
 from repro.serving.cache import ResultCache
 from repro.serving.stats import ServiceStats, StatsAccumulator
 
@@ -164,6 +164,20 @@ class EstimationService:
                 timeout=self.config.request_timeout_seconds
             )
         return results
+
+    def estimate_subplans(self, query: Query) -> dict[frozenset[str], float]:
+        """Estimates for every connected sub-plan of ``query``.
+
+        The optimizer-shaped entry point: one plan-enumeration request fans
+        out into every connected subgraph of the query.  The sub-queries are
+        routed through :meth:`estimate_many`, so each sub-plan is answered
+        from the signature-keyed cache when any earlier request — including a
+        *different* query sharing the sub-plan, or a previous enumeration of
+        the same query — already computed it; only genuinely new sub-plans
+        reach the model, coalesced into one micro-batch.
+        """
+        subqueries = query.connected_subqueries()
+        return subplan_map(subqueries, self.estimate_many(subqueries))
 
     def stats(self) -> ServiceStats:
         """An immutable snapshot of the service counters and latencies."""

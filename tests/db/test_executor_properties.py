@@ -1,0 +1,193 @@
+"""Randomized property tests of the cardinality executor.
+
+Certifies the two production counting paths (Yannakakis-style tree counting
+and iterative hash-join expansion) against the brute-force nested-loop
+reference on small random instances, and checks the sub-plan consistency
+properties that join enumeration relies on:
+
+* a non-empty query implies every connected sub-query is non-empty (each
+  result row of the super-query projects to a qualifying row combination of
+  the sub-query), and
+* a sub-query's cardinality is at least the number of *distinct* projections
+  of the super-query's result onto the sub-query's tables.
+
+(The raw inequality ``|sub| >= |super|`` does **not** hold in general — a
+PK/FK join can fan one parent row out into many result rows — which is why
+the projection-based bound is the right invariant.)
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.db.executor import (
+    CardinalityExecutor,
+    execute_cardinality,
+    nested_loop_cardinality,
+)
+from repro.db.predicates import selection_mask
+from repro.db.query import JoinCondition, Predicate, Query
+from repro.db.schema import ColumnSchema, ForeignKey, Schema, TableSchema
+from repro.db.table import Database, Table
+
+
+def _random_database(rng: np.random.Generator, num_tables: int) -> Database:
+    """A random chain-joined database with tiny tables and small domains."""
+    tables = []
+    foreign_keys = []
+    table_schemas = []
+    for index in range(num_tables):
+        columns = [ColumnSchema("id", "primary_key"), ColumnSchema("val")]
+        if index > 0:
+            columns.append(ColumnSchema("ref", "foreign_key"))
+        schema = TableSchema(name=f"t{index}", columns=tuple(columns))
+        table_schemas.append(schema)
+        if index > 0:
+            foreign_keys.append(ForeignKey(f"t{index}", "ref", f"t{index - 1}", "id"))
+    schema = Schema(tables=tuple(table_schemas), foreign_keys=tuple(foreign_keys))
+
+    previous_rows = 0
+    for index, table_schema in enumerate(table_schemas):
+        num_rows = int(rng.integers(2, 7))
+        data = {
+            "id": np.arange(num_rows, dtype=np.int64),
+            "val": rng.integers(0, 4, size=num_rows).astype(np.int64),
+        }
+        if index > 0:
+            # Reference keys may dangle (simulates filtered parents).
+            data["ref"] = rng.integers(0, previous_rows + 1, size=num_rows).astype(np.int64)
+        previous_rows = num_rows
+        tables.append(Table(table_schema, data))
+    return Database(schema, {table.name: table for table in tables})
+
+
+def _random_query(rng: np.random.Generator, database: Database) -> Query:
+    names = database.schema.table_names
+    num_tables = int(rng.integers(1, len(names) + 1))
+    start = int(rng.integers(0, len(names) - num_tables + 1))
+    chosen = names[start : start + num_tables]
+    joins = tuple(
+        JoinCondition(chosen[i + 1], "ref", chosen[i], "id") for i in range(num_tables - 1)
+    )
+    predicates = []
+    for table in chosen:
+        if rng.random() < 0.5:
+            operator = ("=", "<", ">")[int(rng.integers(3))]
+            predicates.append(Predicate(table, "val", operator, int(rng.integers(0, 4))))
+    return Query(tables=chosen, joins=joins, predicates=tuple(predicates))
+
+
+def _distinct_projections(database: Database, query: Query, subset: frozenset[str]) -> int:
+    """Distinct projections of the nested-loop result onto ``subset`` tables."""
+    tables = [database.table(name) for name in query.tables]
+    positions = {table.name: i for i, table in enumerate(tables)}
+    qualifying = []
+    for table in tables:
+        predicates = query.predicates_on(table.name)
+        mask = selection_mask(table, predicates) if predicates else np.ones(table.num_rows, bool)
+        qualifying.append(np.flatnonzero(mask))
+    kept = [positions[name] for name in query.tables if name in subset]
+    projections = set()
+    for combination in itertools.product(*qualifying):
+        if all(
+            database.table(j.left_table).column(j.left_column)[combination[positions[j.left_table]]]
+            == database.table(j.right_table).column(j.right_column)[
+                combination[positions[j.right_table]]
+            ]
+            for j in query.joins
+        ):
+            projections.add(tuple(combination[i] for i in kept))
+    return len(projections)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_tree_path_matches_nested_loop(seed):
+    rng = np.random.default_rng(seed)
+    database = _random_database(rng, num_tables=int(rng.integers(2, 5)))
+    executor = CardinalityExecutor(database)
+    for _ in range(6):
+        query = _random_query(rng, database)
+        assert executor.execute(query) == nested_loop_cardinality(database, query)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_expansion_path_matches_nested_loop_on_cycles(seed):
+    """Adding the redundant transitive edge forms a cycle → expansion path."""
+    rng = np.random.default_rng(100 + seed)
+    database = _random_database(rng, num_tables=3)
+    chain = Query(
+        tables=("t0", "t1", "t2"),
+        joins=(
+            JoinCondition("t1", "ref", "t0", "id"),
+            JoinCondition("t2", "ref", "t1", "id"),
+            # Parallel edge t1-t0 over the same pair forces the non-tree path.
+            JoinCondition("t0", "id", "t1", "ref"),
+        ),
+    )
+    executor = CardinalityExecutor(database)
+    assert not executor._is_tree(chain.tables, chain.joins)
+    assert executor.execute(chain) == nested_loop_cardinality(database, chain)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_subplan_consistency(seed):
+    rng = np.random.default_rng(200 + seed)
+    database = _random_database(rng, num_tables=3)
+    executor = CardinalityExecutor(database)
+    for _ in range(4):
+        query = _random_query(rng, database)
+        total = executor.execute(query)
+        for subset in query.connected_table_subsets():
+            sub_cardinality = executor.execute(query.subquery(subset))
+            if total > 0:
+                assert sub_cardinality > 0
+            assert sub_cardinality >= _distinct_projections(database, query, subset)
+
+
+class TestExecutorMemoization:
+    def test_cache_hits_and_misses(self, two_table_database):
+        executor = CardinalityExecutor(two_table_database, cache_capacity=8)
+        query = Query(
+            tables=("dim", "fact"),
+            joins=(JoinCondition("fact", "dim_id", "dim", "id"),),
+        )
+        first = executor.execute(query)
+        second = executor.execute(query)
+        assert first == second == 10
+        assert executor.cache_hits == 1
+        assert executor.cache_misses == 1
+        # Semantically identical query with different ordering shares the entry.
+        reordered = Query(
+            tables=("fact", "dim"),
+            joins=(JoinCondition("dim", "id", "fact", "dim_id"),),
+        )
+        assert executor.execute(reordered) == 10
+        assert executor.cache_hits == 2
+
+    def test_lru_eviction(self, two_table_database):
+        executor = CardinalityExecutor(two_table_database, cache_capacity=1)
+        dim_only = Query(tables=("dim",))
+        fact_only = Query(tables=("fact",))
+        executor.execute(dim_only)
+        executor.execute(fact_only)  # evicts dim_only
+        executor.execute(dim_only)
+        assert executor.cache_hits == 0
+        assert executor.cache_misses == 3
+
+    def test_disabled_by_default(self, two_table_database):
+        executor = CardinalityExecutor(two_table_database)
+        query = Query(tables=("dim",))
+        executor.execute(query)
+        executor.execute(query)
+        assert executor.cache_hits == 0 and executor.cache_misses == 0
+
+    def test_invalid_capacity_rejected(self, two_table_database):
+        with pytest.raises(ValueError):
+            CardinalityExecutor(two_table_database, cache_capacity=0)
+
+    def test_execute_cardinality_wrapper_still_works(self, two_table_database):
+        query = Query(tables=("dim",))
+        assert execute_cardinality(two_table_database, query) == 4

@@ -1,0 +1,108 @@
+"""Tests of sub-plan derivation on ``Query`` (subquery + connected subsets)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.query import JoinCondition, Predicate, Query
+
+
+def _chain_query() -> Query:
+    """a — b — c chain with one predicate per table."""
+    return Query(
+        tables=("a", "b", "c"),
+        joins=(
+            JoinCondition("a", "x", "b", "x"),
+            JoinCondition("b", "y", "c", "y"),
+        ),
+        predicates=(
+            Predicate("a", "pa", "=", 1),
+            Predicate("b", "pb", "<", 2),
+            Predicate("c", "pc", ">", 3),
+        ),
+    )
+
+
+def _star_query() -> Query:
+    """Hub h joined to three spokes."""
+    return Query(
+        tables=("h", "s1", "s2", "s3"),
+        joins=(
+            JoinCondition("h", "a", "s1", "a"),
+            JoinCondition("h", "b", "s2", "b"),
+            JoinCondition("h", "c", "s3", "c"),
+        ),
+    )
+
+
+class TestSubquery:
+    def test_restricts_joins_and_predicates(self):
+        query = _chain_query()
+        sub = query.subquery({"a", "b"})
+        assert sub.tables == ("a", "b")
+        assert [join.canonical for join in sub.joins] == ["a.x=b.x"]
+        assert {p.table for p in sub.predicates} == {"a", "b"}
+
+    def test_table_order_follows_parent(self):
+        query = _chain_query()
+        assert query.subquery({"c", "a"}).tables == ("a", "c")
+
+    def test_full_subset_reproduces_query(self):
+        query = _chain_query()
+        sub = query.subquery(query.tables)
+        assert sub.signature() == query.signature()
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(ValueError, match="not part of the query"):
+            _chain_query().subquery({"a", "zz"})
+
+    def test_empty_subset_rejected(self):
+        with pytest.raises(ValueError, match="at least one table"):
+            _chain_query().subquery(())
+
+    def test_disconnected_subset_allowed_but_crossproduct(self):
+        # subquery() itself does not require connectivity (the executor
+        # defines cross-product semantics); enumeration filters these out.
+        sub = _chain_query().subquery({"a", "c"})
+        assert sub.joins == ()
+        assert not sub.is_connected()
+
+
+class TestConnectedSubsets:
+    def test_chain_excludes_disconnected_pair(self):
+        subsets = _chain_query().connected_table_subsets()
+        assert frozenset({"a", "c"}) not in subsets
+        assert len(subsets) == 6  # 3 singletons, ab, bc, abc
+
+    def test_star_counts(self):
+        subsets = _star_query().connected_table_subsets()
+        # Singletons (4) + hub-with-any-nonempty-spoke-subset (7) = 11;
+        # spoke pairs without the hub are disconnected.
+        assert len(subsets) == 11
+        assert frozenset({"s1", "s2"}) not in subsets
+        assert frozenset({"h", "s1", "s3"}) in subsets
+
+    def test_sorted_by_size_and_memoized(self):
+        query = _chain_query()
+        subsets = query.connected_table_subsets()
+        sizes = [len(subset) for subset in subsets]
+        assert sizes == sorted(sizes)
+        assert query.connected_table_subsets() is subsets
+
+    def test_single_table_query(self):
+        query = Query(tables=("solo",))
+        assert query.connected_table_subsets() == (frozenset({"solo"}),)
+
+    def test_connected_subqueries_aligned_and_memoized(self):
+        query = _chain_query()
+        subqueries = query.connected_subqueries()
+        assert [frozenset(sub.tables) for sub in subqueries] == list(
+            query.connected_table_subsets()
+        )
+        # The full query is the last (largest) connected sub-query.
+        assert subqueries[-1].signature() == query.signature()
+        assert query.connected_subqueries() is subqueries
+
+    def test_subqueries_of_connected_subsets_are_connected(self):
+        for sub in _star_query().connected_subqueries():
+            assert sub.is_connected()

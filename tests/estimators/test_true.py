@@ -22,3 +22,34 @@ def test_oracle_clamps_empty_results_to_one(two_table_database):
     oracle = TrueCardinalityEstimator(two_table_database)
     query = Query(tables=("fact",), predicates=(Predicate("fact", "value", ">", 100),))
     assert oracle.estimate(query) == 1.0
+
+
+def test_oracle_memoizes_by_signature(tiny_database, tiny_workload):
+    oracle = TrueCardinalityEstimator(tiny_database)
+    queries = [labelled.query for labelled in tiny_workload[:10]]
+    first = oracle.estimate_many(queries)
+    assert oracle.cache_misses == len(queries)
+    assert oracle.cache_hits == 0
+    second = oracle.estimate_many(queries)
+    np.testing.assert_array_equal(first, second)
+    assert oracle.cache_hits == len(queries)
+    assert oracle.cache_misses == len(queries)
+
+
+def test_oracle_memoizes_shared_subplans(tiny_database, tiny_workload):
+    multi_join = [l.query for l in tiny_workload if l.query.num_joins >= 2][:3]
+    oracle = TrueCardinalityEstimator(tiny_database)
+    for query in multi_join:
+        oracle.estimate_subplans(query)
+        hits_before = oracle.cache_hits
+        # Re-enumerating the same query's sub-plans is pure cache traffic.
+        oracle.estimate_subplans(query)
+        assert oracle.cache_hits - hits_before == len(query.connected_subqueries())
+
+
+def test_oracle_cache_can_be_disabled(tiny_database, tiny_workload):
+    oracle = TrueCardinalityEstimator(tiny_database, cache_capacity=None)
+    query = tiny_workload[0].query
+    oracle.estimate(query)
+    oracle.estimate(query)
+    assert oracle.cache_hits == 0 and oracle.cache_misses == 0

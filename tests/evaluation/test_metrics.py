@@ -78,3 +78,33 @@ class TestSummary:
     def test_empty_distribution_rejected(self):
         with pytest.raises(ValueError):
             summarize_q_errors([])
+
+
+class TestEmptyWorkloadGuards:
+    """Empty workloads must fail loudly, not with numpy warnings downstream."""
+
+    def test_q_errors_reject_empty_inputs(self):
+        with pytest.raises(ValueError, match="empty workload"):
+            q_errors([], [])
+
+    def test_q_errors_reject_one_sided_empty(self):
+        with pytest.raises(ValueError):
+            q_errors([], [1.0])
+
+    def test_signed_ratio_rejects_empty_inputs(self):
+        with pytest.raises(ValueError, match="empty workload"):
+            signed_ratio([], [])
+
+    def test_summarize_message_names_the_workload(self):
+        with pytest.raises(ValueError, match="workload"):
+            summarize_q_errors(np.empty(0))
+
+    def test_no_numpy_warnings_escape(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with pytest.raises(ValueError):
+                q_errors([], [])
+            with pytest.raises(ValueError):
+                summarize_q_errors([])

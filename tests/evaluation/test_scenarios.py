@@ -23,6 +23,19 @@ TINY = ScenarioConfig(
     num_training_queries=80,
     num_eval_queries=40,
     sample_size=25,
+    # The strict routing tests below assert exactly one estimate_many call
+    # per matrix cell; plan quality legitimately fans out into sub-plan
+    # batches, so it gets its own dedicated config/tests.
+    include_plan_quality=False,
+)
+
+PLAN_QUALITY = ScenarioConfig(
+    datasets=("retail",),
+    dataset_scale=0.04,
+    num_training_queries=60,
+    num_eval_queries=40,
+    sample_size=25,
+    plan_quality_max_queries=10,
 )
 
 
@@ -136,6 +149,70 @@ class TestRunScenarios:
         for entry in results:
             assert entry.dataset in text
         assert "median" in text and "99th" in text
+        # Plan quality was disabled, so the plan columns must not appear.
+        assert "plan·med" not in text
+
+
+class TestPlanQualityDimension:
+    def test_run_scenarios_reports_plan_quality(self):
+        scenarios = build_scenarios(PLAN_QUALITY)
+        from repro.estimators.postgres import PostgresEstimator
+        from repro.estimators.true import TrueCardinalityEstimator
+
+        results = run_scenarios(
+            {
+                "postgres": lambda s: PostgresEstimator(s.database),
+                "truth": lambda s: TrueCardinalityEstimator(s.database),
+            },
+            scenarios=scenarios,
+        )
+        by_name = {entry.estimator_name: entry for entry in results}
+        for entry in by_name.values():
+            quality = entry.plan_quality
+            assert quality is not None
+            assert 1 <= quality.count <= PLAN_QUALITY.plan_quality_max_queries
+            assert quality.median >= 1.0
+            assert quality.maximum >= quality.median
+        # Driving the optimizer with true cardinalities always yields the
+        # optimal plan, so the truth row pins the metric's floor.
+        truth_quality = by_name["truth"].plan_quality
+        assert truth_quality.maximum == 1.0
+        assert truth_quality.fraction_optimal == 1.0
+        assert truth_quality.total_cost_ratio == 1.0
+        # The independence-assumption baseline must never beat the floor.
+        assert by_name["postgres"].plan_quality.mean >= 1.0
+
+    def test_oracle_memoizes_shared_subplans_across_estimators(self):
+        scenarios = build_scenarios(PLAN_QUALITY)
+        run_scenarios(
+            {
+                "a": lambda s: _CountingOracle(),
+                "b": lambda s: _CountingOracle(),
+            },
+            scenarios=scenarios,
+        )
+        oracle = scenarios[0].true_estimator
+        # The second estimator's plan-quality pass re-asks for the exact same
+        # sub-plans; the signature-keyed memo must have served them.
+        assert oracle.cache_hits >= oracle.cache_misses
+
+    def test_plan_quality_columns_in_matrix(self):
+        scenarios = build_scenarios(PLAN_QUALITY)
+        results = run_scenarios({"oracle": lambda s: _CountingOracle()}, scenarios=scenarios)
+        text = format_scenario_matrix(results)
+        assert "plan·med" in text and "plan·max" in text and "opt%" in text
+
+    def test_plan_quality_disabled_for_min_join_starved_workloads(self):
+        config = ScenarioConfig(
+            datasets=("retail",),
+            dataset_scale=0.04,
+            num_training_queries=60,
+            num_eval_queries=20,
+            sample_size=25,
+            plan_quality_min_joins=50,  # nothing qualifies
+        )
+        results = run_scenarios({"oracle": lambda s: _CountingOracle()}, config)
+        assert all(entry.plan_quality is None for entry in results)
 
 
 class TestSequenceRouting:

@@ -1,0 +1,133 @@
+"""Tests certifying the DPsize enumerator against exhaustive enumeration."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.db.query import JoinCondition, Query
+from repro.optimizer.cost import cout_cost
+from repro.optimizer.enumeration import all_join_trees, enumerate_optimal_plan
+
+
+def _chain(tables: tuple[str, ...]) -> Query:
+    joins = tuple(
+        JoinCondition(tables[i], "k", tables[i + 1], "k") for i in range(len(tables) - 1)
+    )
+    return Query(tables=tables, joins=joins)
+
+
+def _star(hub: str, spokes: tuple[str, ...]) -> Query:
+    joins = tuple(JoinCondition(hub, f"k{i}", spoke, f"k{i}") for i, spoke in enumerate(spokes))
+    return Query(tables=(hub, *spokes), joins=joins)
+
+
+def _cycle(tables: tuple[str, ...]) -> Query:
+    joins = tuple(
+        JoinCondition(tables[i], "k", tables[(i + 1) % len(tables)], "k")
+        for i in range(len(tables))
+    )
+    return Query(tables=tables, joins=joins)
+
+
+def _random_cardinalities(query: Query, rng: np.random.Generator) -> dict[frozenset[str], float]:
+    return {
+        subset: float(rng.integers(1, 10_000))
+        for subset in query.connected_table_subsets()
+    }
+
+
+class TestEnumerateOptimalPlan:
+    def test_chain_picks_cheap_side_first(self):
+        query = _chain(("a", "b", "c"))
+        cards = {
+            frozenset({"a"}): 10.0,
+            frozenset({"b"}): 100.0,
+            frozenset({"c"}): 10.0,
+            frozenset({"a", "b"}): 1000.0,
+            frozenset({"b", "c"}): 5.0,
+            frozenset({"a", "b", "c"}): 50.0,
+        }
+        plan = enumerate_optimal_plan(query, cards)
+        assert str(plan.tree) in {"(a ⋈ (b ⋈ c))", "((b ⋈ c) ⋈ a)"}
+        assert plan.cost == 55.0
+
+    def test_single_table_query(self):
+        plan = enumerate_optimal_plan(Query(tables=("solo",)), {frozenset({"solo"}): 42.0})
+        assert plan.tree.is_leaf
+        assert plan.cost == 0.0
+
+    def test_no_cross_products_in_enumerated_trees(self):
+        query = _star("h", ("s1", "s2", "s3"))
+        for tree in all_join_trees(query):
+            for node in tree.iter_joins():
+                # Every join node's table set must be connected in the query.
+                assert frozenset(node.tables) in query.connected_table_subsets()
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            _chain(("a", "b", "c", "d")),
+            _star("h", ("s1", "s2", "s3")),
+            _cycle(("a", "b", "c", "d")),
+            _chain(("a", "b", "c", "d", "e")),
+        ],
+        ids=["chain4", "star4", "cycle4", "chain5"],
+    )
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_dp_matches_brute_force(self, query, seed):
+        rng = np.random.default_rng(seed)
+        cards = _random_cardinalities(query, rng)
+        plan = enumerate_optimal_plan(query, cards)
+        brute_force = min(cout_cost(tree, cards) for tree in all_join_trees(query))
+        assert plan.cost == brute_force
+        # The returned tree's cost must equal the claimed cost.
+        assert cout_cost(plan.tree, cards) == plan.cost
+
+    def test_deterministic_across_runs(self):
+        query = _star("h", ("s1", "s2", "s3"))
+        cards = _random_cardinalities(query, np.random.default_rng(5))
+        first = enumerate_optimal_plan(query, cards)
+        second = enumerate_optimal_plan(query, cards)
+        assert first.tree == second.tree
+
+    def test_disconnected_query_rejected(self):
+        query = Query(tables=("a", "b"))  # no joins → cross product
+        with pytest.raises(ValueError, match="connected"):
+            enumerate_optimal_plan(query, {})
+        with pytest.raises(ValueError, match="connected"):
+            all_join_trees(query)
+
+    def test_missing_cardinality_raises_key_error(self):
+        query = _chain(("a", "b", "c"))
+        cards = _random_cardinalities(query, np.random.default_rng(0))
+        del cards[frozenset({"a", "b"})]
+        with pytest.raises(KeyError, match="every connected sub-plan"):
+            enumerate_optimal_plan(query, cards)
+
+
+class TestAllJoinTrees:
+    def test_chain3_has_two_trees(self):
+        assert len(all_join_trees(_chain(("a", "b", "c")))) == 2
+
+    def test_star3_has_six_trees(self):
+        # Left-deep orders of three spokes around the hub: 3! = 6 (bushy
+        # shapes would need a spoke-spoke edge, which a star lacks).
+        assert len(all_join_trees(_star("h", ("s1", "s2", "s3")))) == 6
+
+    def test_trees_are_unique_modulo_commutativity(self):
+        trees = all_join_trees(_cycle(("a", "b", "c", "d")))
+        canons = [tree.canonical() for tree in trees]
+        assert len(canons) == len(set(canons))
+
+    def test_chain_tree_counts_are_catalan(self):
+        # Every sub-plan of a chain is a contiguous segment, so the trees
+        # over an n-chain are counted by the Catalan numbers C(n-1): 2, 5, 14.
+        for n, expected in ((3, 2), (4, 5), (5, 14)):
+            tables = tuple(f"t{i}" for i in range(n))
+            trees = all_join_trees(_chain(tables))
+            for left, right in itertools.combinations(trees, 2):
+                assert left.canonical() != right.canonical()
+            assert len(trees) == expected

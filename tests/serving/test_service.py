@@ -361,3 +361,44 @@ class TestServiceStats:
             ServiceConfig(max_spread=0.5)
         with pytest.raises(ValueError):
             ServiceConfig(max_joins=-1)
+
+
+class TestSubplanFanout:
+    """The optimizer-shaped entry point: sub-plan requests through the cache."""
+
+    def test_subplan_estimates_match_the_model(self, serving_estimator, serving_queries):
+        query = next(q for q in serving_queries if q.num_joins >= 2)
+        with EstimationService(serving_estimator) as service:
+            served = service.estimate_subplans(query)
+        direct = serving_estimator.estimate_many(query.connected_subqueries())
+        expected = dict(
+            zip((frozenset(s.tables) for s in query.connected_subqueries()), direct)
+        )
+        assert set(served) == set(expected)
+        for tables, value in served.items():
+            assert value == pytest.approx(expected[tables], rel=1e-6)
+
+    def test_repeated_enumeration_is_pure_cache_traffic(
+        self, serving_estimator, serving_queries
+    ):
+        query = next(q for q in serving_queries if q.num_joins >= 2)
+        with EstimationService(serving_estimator) as service:
+            first = service.estimate_subplans(query)
+            hits_before = service.stats().cache_hits
+            second = service.estimate_subplans(query)
+            hits_after = service.stats().cache_hits
+        assert first == second
+        assert hits_after - hits_before == len(query.connected_subqueries())
+
+    def test_shared_subplans_across_queries_hit_the_cache(
+        self, serving_estimator, serving_queries
+    ):
+        query = next(q for q in serving_queries if q.num_joins >= 2)
+        sub = query.connected_subqueries()[0]  # a single-table sub-plan
+        with EstimationService(serving_estimator) as service:
+            service.estimate_many([sub])
+            hits_before = service.stats().cache_hits
+            service.estimate_subplans(query)
+            hits_after = service.stats().cache_hits
+        # The earlier standalone request answered at least that sub-plan.
+        assert hits_after > hits_before
