@@ -10,12 +10,16 @@ the reproduction at its (smaller) experiment scale.
 from __future__ import annotations
 
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.core.batching import collate
 from repro.core.config import FeaturizationVariant
+from repro.utils.bench import write_bench_json
+
+RESULTS_DIRECTORY = Path(__file__).parent / "results"
 
 VARIANTS = (
     FeaturizationVariant.NO_SAMPLES,
@@ -128,6 +132,7 @@ def test_section47_inference_latency(context, write_result):
         f"{'p50 ms':>9} {'p95 ms':>9}",
     ]
     throughput = {}
+    percentiles = {}
     for name, estimator in (("padded float64", legacy), ("ragged float32", fused)):
         batch_seconds = _best_of(lambda: estimator.estimate_many(queries), repeats=7)
         throughput[name] = len(queries) / batch_seconds
@@ -138,6 +143,7 @@ def test_section47_inference_latency(context, write_result):
             estimator.estimate(labelled.query)
             single_seconds.append(time.perf_counter() - start)
         p50, p95 = np.percentile(np.array(single_seconds) * 1000.0, [50, 95])
+        percentiles[name] = (float(p50), float(p95))
         lines.append(
             f"{name:<24} {1000.0 * batch_seconds / len(queries):>15.4f} "
             f"{throughput[name]:>12.0f} {p50:>9.3f} {p95:>9.3f}"
@@ -145,6 +151,24 @@ def test_section47_inference_latency(context, write_result):
     speedup = throughput["ragged float32"] / throughput["padded float64"]
     lines.append(f"throughput speedup      {speedup:>15.1f}x")
     write_result("section47_inference_latency", "\n".join(lines))
+    fused_p50, fused_p95 = percentiles["ragged float32"]
+    write_bench_json(
+        RESULTS_DIRECTORY,
+        "section47_inference_latency",
+        throughput_qps=throughput["ragged float32"],
+        p50_ms=fused_p50,
+        p95_ms=fused_p95,
+        dtype="float32",
+        precision="float32",
+        replicas=fused.config.engine_replicas,
+        metrics={
+            "padded_float64_qps": throughput["padded float64"],
+            "padded_float64_p50_ms": percentiles["padded float64"][0],
+            "padded_float64_p95_ms": percentiles["padded float64"][1],
+            "fused_speedup": speedup,
+            "num_queries": len(queries),
+        },
+    )
 
     # The fused float-32 ragged engine roughly doubles end-to-end serving
     # throughput over the PR-1 padded float64 baseline (~2x measured on an

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import sys
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -22,7 +23,10 @@ from repro.core.config import FeaturizationVariant, MSCNConfig
 from repro.core.estimator import MSCNEstimator
 from repro.datasets.imdb import SyntheticIMDbConfig, generate_imdb
 from repro.db.sampling import MaterializedSamples
+from repro.utils.bench import write_bench_json
 from repro.workload.generator import QueryGenerator, WorkloadConfig
+
+RESULTS_DIRECTORY = Path(__file__).parent / "results"
 
 
 def main() -> int:
@@ -62,6 +66,19 @@ def main() -> int:
     )
     np.testing.assert_array_equal(fused, padded)
 
+    write_bench_json(
+        RESULTS_DIRECTORY,
+        "smoke_fused_inference",
+        throughput_qps=1000.0 / elapsed_ms if elapsed_ms > 0 else None,
+        dtype=base.dtype,
+        precision=base.dtype,
+        replicas=base.engine_replicas,
+        metrics={
+            "ms_per_query": elapsed_ms,
+            "num_queries": len(queries),
+            "float64_bit_identity": True,
+        },
+    )
     print(
         f"fused inference smoke OK: {len(queries)} queries, "
         f"{elapsed_ms:.3f} ms/query (float32 fused), float64 ragged == padded"

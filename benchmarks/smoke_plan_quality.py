@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import sys
 import time
+from pathlib import Path
 
 from repro.core.config import MSCNConfig
 from repro.core.estimator import MSCNEstimator
@@ -31,10 +32,13 @@ from repro.db.sampling import MaterializedSamples
 from repro.estimators.postgres import PostgresEstimator
 from repro.estimators.true import TrueCardinalityEstimator
 from repro.optimizer import evaluate_plan_quality
+from repro.utils.bench import write_bench_json
 from repro.workload.generator import (
     generate_evaluation_workload,
     generate_training_workload,
 )
+
+RESULTS_DIRECTORY = Path(__file__).parent / "results"
 
 #: Aggregate-cost headroom for the miniature CI training budget.  At smoke
 #: scale the independence-assumption baseline is already near-optimal on the
@@ -48,6 +52,8 @@ def main() -> int:
     specs = registered_datasets()
     assert len(specs) >= 3, "expected at least imdb + retail + forum to be registered"
     started = time.perf_counter()
+    plans_enumerated = 0
+    cost_ratios: dict[str, float] = {}
     for spec in specs:
         database = spec.generate(scale=0.05, seed=7)
         samples = MaterializedSamples(database, sample_size=40, seed=7)
@@ -93,6 +99,8 @@ def main() -> int:
             f"{spec.name}: expected the signature memo to absorb repeated sub-plans"
         )
 
+        plans_enumerated += len(queries)
+        cost_ratios[spec.name] = mscn_summary.total_cost_ratio
         print(
             f"  {spec.name}: OK ({len(queries)} plans enumerated; plan-cost ratio "
             f"mscn x{mscn_summary.total_cost_ratio:.3f} (opt {100 * mscn_summary.fraction_optimal:.0f}%) "
@@ -100,9 +108,24 @@ def main() -> int:
             f"(opt {100 * pg_summary.fraction_optimal:.0f}%); "
             f"{oracle.cache_misses} sub-plans executed, {oracle.cache_hits} memo hits)"
         )
+    elapsed = time.perf_counter() - started
+    write_bench_json(
+        RESULTS_DIRECTORY,
+        "smoke_plan_quality",
+        throughput_qps=plans_enumerated / elapsed if elapsed > 0 else None,
+        dtype="float32",
+        precision="float32",
+        replicas=1,
+        metrics={
+            "datasets": len(specs),
+            "plans_enumerated": plans_enumerated,
+            "total_seconds": elapsed,
+            "mscn_total_cost_ratio": cost_ratios,
+        },
+    )
     print(
         f"plan-quality smoke OK: {len(specs)} datasets enumerated and costed "
-        f"in {time.perf_counter() - started:.1f}s"
+        f"in {elapsed:.1f}s"
     )
     return 0
 

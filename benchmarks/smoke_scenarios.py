@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import sys
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -24,13 +25,17 @@ from repro.core.estimator import MSCNEstimator
 from repro.datasets import registered_datasets
 from repro.db.sampling import MaterializedSamples
 from repro.serving import EstimationService, ServiceConfig
+from repro.utils.bench import write_bench_json
 from repro.workload.generator import generate_training_workload
+
+RESULTS_DIRECTORY = Path(__file__).parent / "results"
 
 
 def main() -> int:
     specs = registered_datasets()
     assert len(specs) >= 3, "expected at least imdb + retail + forum to be registered"
     started = time.perf_counter()
+    queries_served = 0
     for spec in specs:
         database = spec.generate(scale=0.05, seed=7)
         samples = MaterializedSamples(database, sample_size=40, seed=7)
@@ -61,13 +66,28 @@ def main() -> int:
         assert service.stats().cache_hits >= len(queries)
 
         graph = spec.join_graph()
+        queries_served += len(queries)
         print(
             f"  {spec.name}: OK ({graph.num_tables} tables, "
             f"diameter {graph.diameter}, {len(queries)} queries round-tripped)"
         )
+    elapsed = time.perf_counter() - started
+    write_bench_json(
+        RESULTS_DIRECTORY,
+        "smoke_scenarios",
+        throughput_qps=queries_served / elapsed if elapsed > 0 else None,
+        dtype="float32",
+        precision="float32",
+        replicas=1,
+        metrics={
+            "datasets": len(specs),
+            "queries_round_tripped": queries_served,
+            "total_seconds": elapsed,
+        },
+    )
     print(
         f"scenario smoke OK: {len(specs)} datasets trained and served "
-        f"in {time.perf_counter() - started:.1f}s"
+        f"in {elapsed:.1f}s"
     )
     return 0
 

@@ -34,6 +34,7 @@ from repro.datasets.imdb import SyntheticIMDbConfig, generate_imdb
 from repro.db.sampling import MaterializedSamples
 from repro.estimators.random_sampling import RandomSamplingEstimator
 from repro.serving import EstimationService, ServiceConfig
+from repro.utils.bench import write_bench_json
 from repro.workload.generator import QueryGenerator, WorkloadConfig
 from repro.workload.scale import ScaleWorkloadConfig, generate_scale_workload
 
@@ -117,6 +118,24 @@ def main() -> int:
     )
     RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
     RESULTS_PATH.write_text(report, encoding="utf-8")
+    write_bench_json(
+        RESULTS_PATH.parent,
+        "smoke_service",
+        throughput_qps=cached_qps,
+        dtype=config.dtype,
+        precision=config.inference_precision or config.dtype,
+        replicas=config.engine_replicas,
+        metrics={
+            "uncached_qps": uncached_qps,
+            "cached_speedup": speedup,
+            "cache_hit_rate": stats.cache_hit_rate,
+            "feature_buffer_bytes": stats.feature_buffer_bytes,
+            "scratch_high_water_bytes": stats.scratch_high_water_bytes,
+            "fallback_routed": routed_stats.fallback_queries,
+            "num_queries": len(queries),
+            "repeats": REPEATS,
+        },
+    )
     print(report, end="")
     print("service smoke OK")
     return 0

@@ -21,8 +21,10 @@ from repro.core.batching import Batch, FeaturizedDataset
 from repro.core.config import FeaturizationVariant, MSCNConfig
 from repro.core.ensemble import EnsembleEstimate, EnsembleMSCNEstimator
 from repro.core.estimator import MSCNEstimator
-from repro.core.featurization import FeaturizedQuery, QueryFeaturizer
+from repro.core.featurization import FeatureBuffers, FeaturizedQuery, QueryFeaturizer
+from repro.core.inference import InferenceEngine, WeightSnapshot
 from repro.core.model import MSCN
+from repro.core.pool import EnginePool
 from repro.core.trainer import MSCNTrainer, TrainingResult
 
 __all__ = [
@@ -33,9 +35,13 @@ __all__ = [
     "EnsembleEstimate",
     "QueryFeaturizer",
     "FeaturizedQuery",
+    "FeatureBuffers",
     "Batch",
     "FeaturizedDataset",
     "MSCN",
     "MSCNTrainer",
     "TrainingResult",
+    "InferenceEngine",
+    "WeightSnapshot",
+    "EnginePool",
 ]

@@ -11,6 +11,16 @@ inference engine.  The default is ``float32``: serving accuracy is unaffected
 (the model's own approximation error dwarfs single precision) while matmuls
 move half the memory.  Use ``float64`` for bit-exact comparisons against the
 legacy double-precision path.
+
+Four knobs configure the serving-side inference tier on top of the training
+dtype: ``inference_precision`` selects the engine's weight tier (``None``
+inherits ``dtype``; ``float16``/``int8`` serve quantized weight snapshots
+with float32 compute), ``engine_replicas`` sizes the
+:class:`~repro.core.pool.EnginePool` that parallelizes large batches across
+cores, ``inference_chunk_size`` fixes the queries-per-chunk of
+``estimate_many`` (``None`` falls back to ``batch_size``), and
+``scratch_rows_cap`` bounds the engines' grow-only scratch buffers so one
+huge batch cannot permanently pin peak memory in a long-lived service.
 """
 
 from __future__ import annotations
@@ -23,6 +33,7 @@ import numpy as np
 __all__ = ["FeaturizationVariant", "LossKind", "MSCNConfig"]
 
 _SUPPORTED_DTYPES = ("float32", "float64")
+_SUPPORTED_PRECISIONS = ("float32", "float64", "float16", "int8")
 
 
 class FeaturizationVariant(str, enum.Enum):
@@ -66,6 +77,10 @@ class MSCNConfig:
     dtype: str = "float32"
     fused_inference: bool = True
     bucket_by_length: bool = True
+    inference_precision: str | None = None
+    engine_replicas: int = 1
+    inference_chunk_size: int | None = None
+    scratch_rows_cap: int | None = None
 
     @property
     def np_dtype(self) -> np.dtype:
@@ -91,6 +106,26 @@ class MSCNConfig:
         if canonical not in _SUPPORTED_DTYPES:
             raise ValueError(f"dtype must be one of {_SUPPORTED_DTYPES}, got {self.dtype!r}")
         object.__setattr__(self, "dtype", canonical)
+        if self.inference_precision is not None:
+            try:
+                precision = np.dtype(self.inference_precision).name
+            except TypeError:
+                precision = str(self.inference_precision)
+            if precision not in _SUPPORTED_PRECISIONS:
+                raise ValueError(
+                    f"inference_precision must be one of {_SUPPORTED_PRECISIONS} "
+                    f"(or None to inherit dtype), got {self.inference_precision!r}"
+                )
+            object.__setattr__(self, "inference_precision", precision)
+        if self.engine_replicas < 1:
+            raise ValueError("engine_replicas must be >= 1")
+        if self.inference_chunk_size is not None and self.inference_chunk_size < 1:
+            raise ValueError(
+                "inference_chunk_size must be >= 1 (the number of queries per "
+                "fused inference chunk), or None to fall back to batch_size"
+            )
+        if self.scratch_rows_cap is not None and self.scratch_rows_cap < 1:
+            raise ValueError("scratch_rows_cap must be >= 1 (or None for unbounded)")
         # Accept plain strings for convenience.
         if not isinstance(self.loss, LossKind):
             object.__setattr__(self, "loss", LossKind(self.loss))

@@ -203,14 +203,22 @@ class MSCNEstimator:
         """Estimated cardinality of a single query."""
         return float(self.estimate_many([query])[0])
 
-    def serving_dataset(self, queries: Sequence[Query]):
+    def serving_dataset(self, queries: Sequence[Query], buffers=None):
         """Featurize serving traffic in the layout the inference path wants.
 
         Public so ensembles (and other fan-out consumers) can featurize a
         workload once and share the dataset across models; pair with
         :meth:`estimate_featurized`.
+
+        ``buffers`` optionally supplies a
+        :class:`~repro.core.featurization.FeatureBuffers` set to featurize
+        into (zero-copy, fused path only): the returned dataset then aliases
+        the buffers and is valid until the next featurize-into call against
+        them — the estimation service's micro-batch lifecycle.
         """
         if self.config.fused_inference:
+            if buffers is not None:
+                return self.featurizer.featurize_into(queries, buffers)
             return self.featurizer.featurize_ragged(queries)
         return self.featurizer.featurize_dataset(queries)
 
@@ -293,6 +301,22 @@ class MSCNEstimator:
     # ------------------------------------------------------------------
     # Introspection and persistence
     # ------------------------------------------------------------------
+    @property
+    def scratch_high_water_bytes(self) -> int:
+        """Peak inference scratch held across engine replicas (0 if unused).
+
+        Reads whatever pool the trainer has already built — it never forces
+        engine construction just to report zero.
+        """
+        if self._trainer is None or self._trainer._pool is None:
+            return 0
+        return self._trainer._pool.scratch_high_water_bytes
+
+    def reset_inference_scratch(self) -> None:
+        """Release cached inference scratch buffers (no-op before first use)."""
+        if self._trainer is not None and self._trainer._pool is not None:
+            self._trainer._pool.reset_scratch()
+
     def model_num_parameters(self) -> int:
         self._require_trained()
         return self._model.num_parameters()
@@ -329,6 +353,10 @@ class MSCNEstimator:
                 "dtype": self.config.dtype,
                 "fused_inference": self.config.fused_inference,
                 "bucket_by_length": self.config.bucket_by_length,
+                "inference_precision": self.config.inference_precision,
+                "engine_replicas": self.config.engine_replicas,
+                "inference_chunk_size": self.config.inference_chunk_size,
+                "scratch_rows_cap": self.config.scratch_rows_cap,
             },
             "normalizer": {
                 "min_log": self._normalizer.min_log,
@@ -362,6 +390,11 @@ class MSCNEstimator:
             dtype=config_data.get("dtype", "float64"),
             fused_inference=config_data.get("fused_inference", True),
             bucket_by_length=config_data.get("bucket_by_length", True),
+            # Serving-tier knobs (absent in models saved before the pool).
+            inference_precision=config_data.get("inference_precision"),
+            engine_replicas=config_data.get("engine_replicas", 1),
+            inference_chunk_size=config_data.get("inference_chunk_size"),
+            scratch_rows_cap=config_data.get("scratch_rows_cap"),
         )
         samples = None
         if metadata.get("has_samples"):

@@ -26,7 +26,13 @@ tensors:
   assignments against precomputed one-hot lookup tables, and
 * the vectorized *ragged* path (:meth:`QueryFeaturizer.featurize_ragged`),
   which skips padding entirely and emits flattened ``(total_elements, width)``
-  arrays plus CSR offsets — the layout of the fused inference engine.
+  arrays plus CSR offsets — the layout of the fused inference engine, and
+* the zero-copy serving path (:meth:`QueryFeaturizer.featurize_into`), which
+  writes the same ragged arrays directly into caller-owned reusable
+  :class:`FeatureBuffers` instead of allocating fresh ones per call — the
+  estimation service's batcher reuses one buffer set across micro-batches,
+  and the engine consumes the views without copying (they are contiguous and
+  already in the engine dtype).
 
 All paths compute in the featurizer's configurable ``dtype`` (float32 by
 default in serving configurations; see ``MSCNConfig.dtype``).  Literal
@@ -50,7 +56,55 @@ from repro.db.sampling import MaterializedSamples
 if TYPE_CHECKING:  # pragma: no cover - import cycle, type hints only
     from repro.core.batching import Batch, FeaturizedDataset, RaggedDataset
 
-__all__ = ["FeaturizedQuery", "QueryFeaturizer"]
+__all__ = ["FeatureBuffers", "FeaturizedQuery", "QueryFeaturizer"]
+
+
+class FeatureBuffers:
+    """Reusable backing storage for :meth:`QueryFeaturizer.featurize_into`.
+
+    Holds one grow-only array per feature set, sized to the largest batch
+    seen so far.  Requesting a view re-zeroes exactly the rows handed out (a
+    memset, far cheaper than allocator churn plus zeroing), and a request
+    whose width or dtype no longer matches — e.g. after a model hot-swap to
+    a different schema — transparently reallocates.
+
+    The views handed out alias this storage: a dataset featurized into a
+    buffer set is only valid until the next ``featurize_into`` call against
+    the same buffers.  That is exactly the serving batcher's lifecycle (one
+    micro-batch is fully answered before the next is featurized); do not
+    share one ``FeatureBuffers`` across concurrent featurizing threads.
+    """
+
+    def __init__(self) -> None:
+        self._arrays: dict[str, np.ndarray] = {}
+
+    def zeroed(self, name: str, rows: int, width: int, dtype: np.dtype) -> np.ndarray:
+        """A zero-filled ``(rows, width)`` view into the named backing array."""
+        cached = self._arrays.get(name)
+        if (
+            cached is None
+            or cached.shape[0] < rows
+            or cached.shape[1] != width
+            or cached.dtype != dtype
+        ):
+            compatible = (
+                cached is not None and cached.shape[1] == width and cached.dtype == dtype
+            )
+            capacity = max(rows, cached.shape[0] if compatible else 0)
+            cached = np.empty((capacity, width), dtype=dtype)
+            self._arrays[name] = cached
+        view = cached[:rows]
+        view[...] = 0.0
+        return view
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes currently pinned by the backing arrays."""
+        return sum(array.nbytes for array in self._arrays.values())
+
+    def reset(self) -> None:
+        """Release the backing arrays (they regrow on the next request)."""
+        self._arrays.clear()
 
 
 class _FeatureLookups:
@@ -319,26 +373,89 @@ class QueryFeaturizer:
         offsets.  This is the serving path's featurization — the arrays feed
         the fused inference engine without any intermediate reshaping.
         """
-        from repro.core.batching import (
-            RaggedDataset,
-            RaggedSet,
-            _column_vector,
-            offsets_from_lengths,
-        )
+        from repro.core.batching import RaggedDataset, _column_vector
 
         if not queries:
             raise ValueError("cannot featurize an empty workload")
-        gathered = self._gather(queries)
+
+        def allocate(name: str, rows: int, width: int) -> np.ndarray:
+            return np.zeros((rows, width), dtype=self.dtype)
+
+        tables, joins, predicates = self._ragged_sets(self._gather(queries), allocate)
+
+        if labels is not None:
+            labels = _column_vector(labels, len(queries), "labels")
+        if cardinalities is not None:
+            cardinalities = _column_vector(cardinalities, len(queries), "cardinalities")
+        return RaggedDataset(
+            tables=tables,
+            joins=joins,
+            predicates=predicates,
+            labels=labels,
+            cardinalities=cardinalities,
+        )
+
+    def featurize_into(
+        self,
+        queries: Sequence[Query],
+        buffers: FeatureBuffers,
+        cardinalities: np.ndarray | None = None,
+        labels: np.ndarray | None = None,
+    ) -> "RaggedDataset":
+        """Featurize a workload into caller-owned reusable buffers (zero-copy).
+
+        Bit-identical to :meth:`featurize_ragged`, but the three flat feature
+        arrays are views into ``buffers`` instead of fresh allocations — in
+        steady state a serving micro-batch performs no large feature
+        allocations at all, and because the views are contiguous and already
+        in the engine dtype, the fused engine consumes them without copying.
+
+        The returned dataset aliases ``buffers`` and is invalidated by the
+        next ``featurize_into`` call against the same buffer set (see
+        :class:`FeatureBuffers`); callers that need the features to outlive
+        the call must copy them or use :meth:`featurize_ragged`.
+        """
+        from repro.core.batching import RaggedDataset, _column_vector
+
+        if not queries:
+            raise ValueError("cannot featurize an empty workload")
+
+        def allocate(name: str, rows: int, width: int) -> np.ndarray:
+            return buffers.zeroed(name, rows, width, self.dtype)
+
+        tables, joins, predicates = self._ragged_sets(self._gather(queries), allocate)
+        if labels is not None:
+            labels = _column_vector(labels, len(queries), "labels")
+        if cardinalities is not None:
+            cardinalities = _column_vector(cardinalities, len(queries), "cardinalities")
+        return RaggedDataset(
+            tables=tables,
+            joins=joins,
+            predicates=predicates,
+            labels=labels,
+            cardinalities=cardinalities,
+        )
+
+    def _ragged_sets(self, gathered: _GatheredWorkload, allocate):
+        """Build the three ragged feature sets against an array provider.
+
+        ``allocate(name, rows, width)`` must return a zero-filled
+        ``(rows, width)`` array in the featurizer dtype — a fresh allocation
+        for :meth:`featurize_ragged`, a recycled buffer view for
+        :meth:`featurize_into`.  Everything written into the arrays is
+        identical between the two paths.
+        """
+        from repro.core.batching import RaggedSet, offsets_from_lengths
+
         lookups = self.lookups()
         encoding = self.encoding
-        dtype = self.dtype
 
         def offsets_of(query_ids: np.ndarray) -> np.ndarray:
             return offsets_from_lengths(gathered.lengths(query_ids))
 
         # Tables.
         total_tables = gathered.table_ids.shape[0]
-        table_features = np.zeros((total_tables, self.table_feature_width), dtype=dtype)
+        table_features = allocate("tables", total_tables, self.table_feature_width)
         table_features[:, : encoding.num_tables] = lookups.table_eye[gathered.table_ids]
         if self.variant is not FeaturizationVariant.NO_SAMPLES:
             bitmaps = self.samples.bitmaps_many(gathered.sample_probes)
@@ -353,18 +470,17 @@ class QueryFeaturizer:
         )
 
         # Joins (a plain gather: join rows are complete lookup-table rows).
+        join_features = allocate("joins", gathered.join_ids.shape[0], self.join_feature_width)
         if gathered.join_ids.size:
-            join_features = lookups.join_rows[gathered.join_ids]
-        else:
-            join_features = np.zeros((0, self.join_feature_width), dtype=dtype)
+            np.take(lookups.join_rows, gathered.join_ids, axis=0, out=join_features)
         joins = RaggedSet(
             features=join_features, offsets=offsets_of(gathered.join_query_ids)
         )
 
         # Predicates.
         total_predicates = gathered.column_ids.shape[0]
-        predicate_features = np.zeros(
-            (total_predicates, self.predicate_feature_width), dtype=dtype
+        predicate_features = allocate(
+            "predicates", total_predicates, self.predicate_feature_width
         )
         if total_predicates:
             rows = np.arange(total_predicates)
@@ -376,18 +492,7 @@ class QueryFeaturizer:
         predicates = RaggedSet(
             features=predicate_features, offsets=offsets_of(gathered.predicate_query_ids)
         )
-
-        if labels is not None:
-            labels = _column_vector(labels, len(queries), "labels")
-        if cardinalities is not None:
-            cardinalities = _column_vector(cardinalities, len(queries), "cardinalities")
-        return RaggedDataset(
-            tables=tables,
-            joins=joins,
-            predicates=predicates,
-            labels=labels,
-            cardinalities=cardinalities,
-        )
+        return tables, joins, predicates
 
     def _gather(self, queries: Sequence[Query]) -> _GatheredWorkload:
         """One pass over the Python query objects, gathering flat integer ids."""

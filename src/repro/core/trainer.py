@@ -35,6 +35,7 @@ from repro.core.config import LossKind, MSCNConfig
 from repro.core.featurization import FeaturizedQuery
 from repro.core.inference import InferenceEngine
 from repro.core.model import MSCN
+from repro.core.pool import EnginePool
 from repro.core.normalization import CardinalityNormalizer
 from repro.nn.loss import geometric_q_error_loss, mse_loss, q_error_loss
 from repro.nn.optim import Adam
@@ -82,7 +83,7 @@ class MSCNTrainer:
         self.config = config
         self.optimizer = Adam(model.parameters(), learning_rate=config.learning_rate)
         self._shuffle_rng = spawn_rng(config.seed, "minibatch-shuffle")
-        self._engine: InferenceEngine | None = None
+        self._pool: EnginePool | None = None
 
     # ------------------------------------------------------------------
     # Loss
@@ -175,11 +176,27 @@ class MSCNTrainer:
     # ------------------------------------------------------------------
     # Inference
     # ------------------------------------------------------------------
+    def pool(self) -> EnginePool:
+        """The cached engine replica pool (weights refreshed by callers).
+
+        Sized and precision-configured by the estimator configuration; with
+        ``engine_replicas=1`` (the default) it behaves exactly like the
+        plain single-engine path — chunks run inline on one engine and no
+        worker threads are created.
+        """
+        if self._pool is None:
+            self._pool = EnginePool(
+                self.model,
+                num_replicas=self.config.engine_replicas,
+                dtype=self.config.np_dtype,
+                precision=self.config.inference_precision,
+                scratch_rows_cap=self.config.scratch_rows_cap,
+            )
+        return self._pool
+
     def engine(self) -> InferenceEngine:
-        """The cached fused inference engine (weights refreshed by callers)."""
-        if self._engine is None:
-            self._engine = InferenceEngine(self.model, dtype=self.config.np_dtype)
-        return self._engine
+        """The pool's primary fused inference engine (single-engine view)."""
+        return self.pool().primary
 
     def predict_normalized(
         self,
@@ -199,7 +216,12 @@ class MSCNTrainer:
         out of the fused path would silently change their precision.
         """
         use_fused = self.config.fused_inference if fused is None else fused
-        batch_size = batch_size if batch_size is not None else self.config.batch_size
+        if batch_size is None:
+            batch_size = (
+                self.config.inference_chunk_size
+                if self.config.inference_chunk_size is not None
+                else self.config.batch_size
+            )
         if use_fused:
             normalized = self._predict_normalized_fused(features, batch_size)
         else:
@@ -213,13 +235,9 @@ class MSCNTrainer:
         if dataset.size == 0:
             return np.empty(0, dtype=np.float64)
         self.model.eval()
-        engine = self.engine()
-        engine.refresh()
-        outputs: list[np.ndarray] = []
-        for start in range(0, dataset.size, batch_size):
-            chunk = dataset.slice(start, min(start + batch_size, dataset.size))
-            outputs.append(engine.run(chunk))
-        return np.concatenate(outputs)
+        pool = self.pool()
+        pool.refresh()
+        return pool.run_many(dataset, chunk_size=batch_size)
 
     def _predict_normalized_padded(self, features: FeatureInput, batch_size: int) -> np.ndarray:
         """The legacy padded inference path (benchmark baseline)."""

@@ -29,6 +29,7 @@ All public methods are safe to call from any number of threads.
 
 from __future__ import annotations
 
+import inspect
 import threading
 import time
 from collections import deque
@@ -38,6 +39,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.featurization import FeatureBuffers
 from repro.db.query import Query
 from repro.estimators.base import CardinalityEstimator, subplan_map
 from repro.serving.cache import ResultCache
@@ -119,6 +121,13 @@ class EstimationService:
         self._model = model
         self._generation = 0
         self._model_lock = threading.Lock()
+        # Reusable featurization buffers for the zero-copy serving path.
+        # Only the single batcher thread featurizes, and each micro-batch is
+        # fully answered before the next one is featurized, so one buffer set
+        # matches the aliasing lifecycle exactly.  Support is detected per
+        # model (by signature, once — not by catching TypeErrors per batch).
+        self._feature_buffers = FeatureBuffers()
+        self._buffers_supported = self._supports_feature_buffers(model)
         self._cache = ResultCache(self.config.cache_capacity)
         self._stats = StatsAccumulator()
         self._pending: deque[_Request] = deque()
@@ -179,9 +188,28 @@ class EstimationService:
         subqueries = query.connected_subqueries()
         return subplan_map(subqueries, self.estimate_many(subqueries))
 
+    @staticmethod
+    def _supports_feature_buffers(model) -> bool:
+        """Whether ``model.serving_dataset`` accepts a ``buffers`` argument."""
+        serving_dataset = getattr(model, "serving_dataset", None)
+        if serving_dataset is None:
+            return False
+        try:
+            return "buffers" in inspect.signature(serving_dataset).parameters
+        except (TypeError, ValueError):  # builtins / C callables
+            return False
+
     def stats(self) -> ServiceStats:
         """An immutable snapshot of the service counters and latencies."""
-        return self._stats.snapshot(cache_evictions=self._cache.evictions)
+        with self._model_lock:
+            model = self._model
+        return self._stats.snapshot(
+            cache_evictions=self._cache.evictions,
+            scratch_high_water_bytes=int(
+                getattr(model, "scratch_high_water_bytes", 0)
+            ),
+            feature_buffer_bytes=self._feature_buffers.nbytes,
+        )
 
     @property
     def model(self):
@@ -200,10 +228,16 @@ class EstimationService:
         so a micro-batch computed against the old model (its generation no
         longer matches) can never publish stale estimates afterwards.
         """
+        buffers_supported = self._supports_feature_buffers(model)
         with self._model_lock:
             self._model = model
             self._generation += 1
+            self._buffers_supported = buffers_supported
             self._cache.clear()
+        # The new model may featurize to different widths/dtype; dropping the
+        # backing arrays here (instead of relying on width-mismatch regrowth)
+        # keeps a swap from pinning the old schema's buffers forever.
+        self._feature_buffers.reset()
         self._stats.record_swap()
 
     def swap_from_registry(self, registry, name: str, version: int | None = None) -> None:
@@ -341,10 +375,17 @@ class EstimationService:
         with self._model_lock:
             model = self._model
             generation = self._generation
+            buffers_supported = self._buffers_supported
         samples = getattr(model, "samples", None)
         hits_before = samples.bitmap_cache_hits if samples is not None else 0
         start = time.perf_counter()
-        dataset = model.serving_dataset(queries)
+        if buffers_supported:
+            # Zero-copy: the dataset views the service's reusable buffers.
+            # Safe because only this (single) batcher thread featurizes and
+            # the micro-batch is fully consumed before the next one starts.
+            dataset = model.serving_dataset(queries, buffers=self._feature_buffers)
+        else:
+            dataset = model.serving_dataset(queries)
         featurization_seconds = time.perf_counter() - start
         hits_after = samples.bitmap_cache_hits if samples is not None else 0
 

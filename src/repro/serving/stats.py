@@ -38,6 +38,12 @@ class ServiceStats(PredictionTiming):
     coalesced_batches: int = 0
     model_swaps: int = 0
     batch_size_histogram: dict[int, int] = field(default_factory=dict)
+    #: Peak bytes pinned by the model's inference scratch buffers (summed
+    #: over engine replicas; 0 when the model does not expose the pool).
+    scratch_high_water_bytes: int = 0
+    #: Bytes pinned by the service's reusable featurization buffers (0 when
+    #: the model does not support the zero-copy featurize-into path).
+    feature_buffer_bytes: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -127,9 +133,16 @@ class StatsAccumulator:
         with self._lock:
             self.model_swaps += 1
 
-    def snapshot(self, cache_evictions: int = 0) -> ServiceStats:
+    def snapshot(
+        self,
+        cache_evictions: int = 0,
+        scratch_high_water_bytes: int = 0,
+        feature_buffer_bytes: int = 0,
+    ) -> ServiceStats:
         with self._lock:
             return ServiceStats(
+                scratch_high_water_bytes=scratch_high_water_bytes,
+                feature_buffer_bytes=feature_buffer_bytes,
                 num_queries=self.num_queries,
                 featurization_seconds=self.featurization_seconds,
                 inference_seconds=self.inference_seconds,

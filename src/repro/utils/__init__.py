@@ -1,6 +1,7 @@
-"""Shared utilities: deterministic RNG management and simple timing."""
+"""Shared utilities: deterministic RNG management, timing, benchmark records."""
 
+from repro.utils.bench import latency_percentiles_ms, write_bench_json
 from repro.utils.rng import spawn_rng
 from repro.utils.timer import Timer
 
-__all__ = ["spawn_rng", "Timer"]
+__all__ = ["spawn_rng", "Timer", "latency_percentiles_ms", "write_bench_json"]

@@ -1,0 +1,71 @@
+"""Machine-readable benchmark records.
+
+The smoke benchmarks and the Section 4.7 latency benchmark each write a
+``BENCH_<name>.json`` next to their human-readable ``.txt`` report, so CI
+runs (and local reruns) leave a structured trail of throughput and latency
+numbers that tooling can diff across commits without scraping text tables.
+
+Every record carries a common envelope — benchmark name, serving dtype /
+precision tier, engine replica count, throughput and latency percentiles —
+plus free-form benchmark-specific metrics.  Fields that do not apply are
+simply ``None``; consumers must treat absent/null keys as "not measured".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from os import PathLike
+from pathlib import Path
+from typing import Mapping, Sequence
+
+__all__ = ["latency_percentiles_ms", "write_bench_json"]
+
+
+def latency_percentiles_ms(samples_seconds: Sequence[float]) -> tuple[float, float]:
+    """``(p50_ms, p95_ms)`` of a list of per-call wall-clock seconds."""
+    import numpy as np
+
+    milliseconds = np.asarray(samples_seconds, dtype=np.float64) * 1000.0
+    if milliseconds.size == 0:
+        return 0.0, 0.0
+    p50, p95 = np.percentile(milliseconds, [50.0, 95.0])
+    return float(p50), float(p95)
+
+
+def write_bench_json(
+    directory: "str | PathLike",
+    name: str,
+    *,
+    throughput_qps: "float | None" = None,
+    p50_ms: "float | None" = None,
+    p95_ms: "float | None" = None,
+    dtype: "str | None" = None,
+    precision: "str | None" = None,
+    replicas: "int | None" = None,
+    metrics: "Mapping[str, object] | None" = None,
+) -> Path:
+    """Write ``BENCH_<name>.json`` into ``directory`` and return its path.
+
+    ``metrics`` holds benchmark-specific extras (speedups, q-error deltas,
+    counts); they are stored under a ``metrics`` key so the envelope stays
+    uniform across benchmarks.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    record = {
+        "benchmark": name,
+        "throughput_qps": None if throughput_qps is None else float(throughput_qps),
+        "p50_ms": None if p50_ms is None else float(p50_ms),
+        "p95_ms": None if p95_ms is None else float(p95_ms),
+        "dtype": dtype,
+        "precision": precision,
+        "replicas": None if replicas is None else int(replicas),
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "metrics": dict(metrics) if metrics else {},
+    }
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,343 @@
+"""Tests of the parallel inference tier (:class:`EnginePool`).
+
+The contracts under test:
+
+* pooled ``run_many`` output is **bit-identical** to the serial single-engine
+  path at equal dtype, for every replica count and chunk size — chunk
+  boundaries are the serial path's own, so results do not depend on which
+  replica ran which chunk;
+* concurrent callers sharing one pool all receive bit-identical results
+  (replica scratch never leaks across chunks);
+* a refresh racing in-flight batches never yields a mixed-generation output:
+  every batch corresponds wholly to one installed weight snapshot;
+* the scratch-buffer accounting (reset, high-water mark, row cap) bounds the
+  pool's steady-state memory.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.config import FeaturizationVariant, MSCNConfig
+from repro.core.encoding import SchemaEncoding
+from repro.core.estimator import MSCNEstimator
+from repro.core.featurization import QueryFeaturizer
+from repro.core.inference import InferenceEngine
+from repro.core.model import MSCN
+from repro.core.normalization import ValueNormalizer
+from repro.core.pool import EnginePool
+
+
+@pytest.fixture(scope="module")
+def pool_parts(tiny_database, tiny_samples):
+    encoding = SchemaEncoding.from_schema(tiny_database.schema)
+    value_normalizer = ValueNormalizer.from_database(tiny_database)
+    return encoding, value_normalizer, tiny_samples
+
+
+def make_featurizer(parts, dtype=np.float64):
+    encoding, value_normalizer, samples = parts
+    return QueryFeaturizer(
+        encoding,
+        value_normalizer,
+        samples=samples,
+        variant=FeaturizationVariant.BITMAPS,
+        dtype=dtype,
+    )
+
+
+def make_model(featurizer, dtype=np.float64):
+    return MSCN(
+        table_feature_width=featurizer.table_feature_width,
+        join_feature_width=featurizer.join_feature_width,
+        predicate_feature_width=featurizer.predicate_feature_width,
+        hidden_units=24,
+        rng=np.random.default_rng(3),
+        dtype=dtype,
+    )
+
+
+def serial_reference(model, dataset, chunk_size, dtype):
+    """The single-engine path at the pool's exact chunk boundaries."""
+    engine = InferenceEngine(model, dtype=dtype)
+    outputs = [
+        engine.run(dataset.slice(start, min(start + chunk_size, dataset.size)))
+        for start in range(0, dataset.size, chunk_size)
+    ]
+    return np.concatenate(outputs)
+
+
+class TestPooledBitIdentity:
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    @pytest.mark.parametrize("num_replicas", [1, 2, 4])
+    @pytest.mark.parametrize("chunk_size", [1, 7, 16, 1000])
+    def test_run_many_bit_identical_to_serial(
+        self, pool_parts, tiny_workload, dtype, num_replicas, chunk_size
+    ):
+        featurizer = make_featurizer(pool_parts, dtype=dtype)
+        model = make_model(featurizer, dtype=dtype)
+        dataset = featurizer.featurize_ragged(
+            [labelled.query for labelled in tiny_workload[:60]]
+        )
+        reference = serial_reference(model, dataset, chunk_size, dtype)
+        with EnginePool(model, num_replicas=num_replicas, dtype=dtype) as pool:
+            pooled = pool.run_many(dataset, chunk_size=chunk_size)
+        assert pooled.dtype == np.dtype(dtype)
+        np.testing.assert_array_equal(pooled, reference)
+
+    def test_default_chunk_is_one_whole_batch(self, pool_parts, tiny_workload):
+        featurizer = make_featurizer(pool_parts)
+        model = make_model(featurizer)
+        dataset = featurizer.featurize_ragged(
+            [labelled.query for labelled in tiny_workload[:20]]
+        )
+        with EnginePool(model, num_replicas=3) as pool:
+            np.testing.assert_array_equal(
+                pool.run_many(dataset), InferenceEngine(model, dtype=np.float64).run(dataset)
+            )
+
+    def test_constructor_chunk_size_is_the_default(self, pool_parts, tiny_workload):
+        featurizer = make_featurizer(pool_parts)
+        model = make_model(featurizer)
+        dataset = featurizer.featurize_ragged(
+            [labelled.query for labelled in tiny_workload[:33]]
+        )
+        with EnginePool(model, num_replicas=2, chunk_size=8) as pool:
+            np.testing.assert_array_equal(
+                pool.run_many(dataset),
+                serial_reference(model, dataset, 8, np.float64),
+            )
+
+    def test_empty_dataset_returns_empty(self, pool_parts, tiny_workload):
+        featurizer = make_featurizer(pool_parts)
+        model = make_model(featurizer)
+        dataset = featurizer.featurize_ragged(
+            [labelled.query for labelled in tiny_workload[:4]]
+        )
+        with EnginePool(model, num_replicas=2) as pool:
+            result = pool.run_many(dataset.slice(0, 0))
+        assert result.shape == (0,)
+
+    def test_replicas_share_one_snapshot(self, pool_parts):
+        featurizer = make_featurizer(pool_parts)
+        model = make_model(featurizer)
+        with EnginePool(model, num_replicas=3) as pool:
+            snapshots = {id(engine.snapshot) for engine in pool.engines}
+            assert snapshots == {id(pool.snapshot)}
+            pool.refresh()
+            snapshots = {id(engine.snapshot) for engine in pool.engines}
+            assert snapshots == {id(pool.snapshot)}
+            assert pool.generation == 1
+
+    def test_validation(self, pool_parts, tiny_workload):
+        featurizer = make_featurizer(pool_parts)
+        model = make_model(featurizer)
+        with pytest.raises(ValueError):
+            EnginePool(model, num_replicas=0)
+        with pytest.raises(ValueError):
+            EnginePool(model, chunk_size=0)
+        dataset = featurizer.featurize_ragged(
+            [labelled.query for labelled in tiny_workload[:4]]
+        )
+        with EnginePool(model) as pool:
+            with pytest.raises(ValueError):
+                pool.run_many(dataset, chunk_size=0)
+
+
+class TestConcurrentCallers:
+    def test_threaded_callers_all_get_bit_identical_results(
+        self, pool_parts, tiny_workload
+    ):
+        featurizer = make_featurizer(pool_parts, dtype=np.float32)
+        model = make_model(featurizer, dtype=np.float32)
+        dataset = featurizer.featurize_ragged(
+            [labelled.query for labelled in tiny_workload[:48]]
+        )
+        reference = serial_reference(model, dataset, 8, np.float32)
+        mismatches: list[int] = []
+        with EnginePool(model, num_replicas=3, dtype=np.float32) as pool:
+
+            def caller(caller_id: int) -> None:
+                for _ in range(12):
+                    if not np.array_equal(
+                        pool.run_many(dataset, chunk_size=8), reference
+                    ):
+                        mismatches.append(caller_id)
+                        return
+
+            threads = [threading.Thread(target=caller, args=(i,)) for i in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not mismatches, "a concurrent caller observed a non-identical result"
+
+    def test_hot_swap_under_load_never_mixes_generations(
+        self, pool_parts, tiny_workload
+    ):
+        """Every pooled batch in flight during refreshes must equal one of the
+        two whole-generation references exactly — a mixed-generation batch
+        (some chunks old weights, some new) matches neither."""
+        featurizer = make_featurizer(pool_parts)
+        model = make_model(featurizer)
+        dataset = featurizer.featurize_ragged(
+            [labelled.query for labelled in tiny_workload[:24]]
+        )
+        state_a = {name: p.data.copy() for name, p in model.named_parameters()}
+        state_b = {name: p.data + 0.25 for name, p in model.named_parameters()}
+
+        with EnginePool(model, num_replicas=3) as pool:
+
+            def install(state):
+                for name, parameter in model.named_parameters():
+                    parameter.data = state[name].copy()
+                pool.refresh()
+
+            install(state_a)
+            reference_a = pool.run_many(dataset, chunk_size=4).copy()
+            install(state_b)
+            reference_b = pool.run_many(dataset, chunk_size=4).copy()
+            assert not np.array_equal(reference_a, reference_b)
+
+            stop = threading.Event()
+            torn_outputs: list[np.ndarray] = []
+
+            def reader():
+                while not stop.is_set():
+                    output = pool.run_many(dataset, chunk_size=4)
+                    if not (
+                        np.array_equal(output, reference_a)
+                        or np.array_equal(output, reference_b)
+                    ):
+                        torn_outputs.append(output.copy())
+                        return
+
+            threads = [threading.Thread(target=reader) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            for _ in range(100):
+                install(state_a)
+                install(state_b)
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert not torn_outputs, "a pooled batch mixed weight generations"
+
+
+class TestScratchAccounting:
+    def test_reset_releases_buffers_but_keeps_high_water(
+        self, pool_parts, tiny_workload
+    ):
+        featurizer = make_featurizer(pool_parts)
+        model = make_model(featurizer)
+        dataset = featurizer.featurize_ragged(
+            [labelled.query for labelled in tiny_workload[:32]]
+        )
+        with EnginePool(model, num_replicas=2) as pool:
+            pool.run_many(dataset, chunk_size=8)
+            assert pool.scratch_bytes() > 0
+            high_water = pool.scratch_high_water_bytes
+            assert high_water >= pool.scratch_bytes()
+            pool.reset_scratch()
+            assert pool.scratch_bytes() == 0
+            assert pool.scratch_high_water_bytes == high_water
+
+    def test_scratch_rows_cap_bounds_retained_buffers(self, pool_parts, tiny_workload):
+        featurizer = make_featurizer(pool_parts)
+        model = make_model(featurizer)
+        dataset = featurizer.featurize_ragged(
+            [labelled.query for labelled in tiny_workload[:60]]
+        )
+        capped = InferenceEngine(model, dtype=np.float64, scratch_rows_cap=8)
+        uncapped = InferenceEngine(model, dtype=np.float64)
+        np.testing.assert_array_equal(capped.run(dataset), uncapped.run(dataset))
+        # After the run, the capped engine has dropped every oversized buffer.
+        assert all(buffer.shape[0] <= 8 for buffer in capped._buffers.values())
+        assert capped.scratch_bytes() < uncapped.scratch_bytes()
+        # The high-water mark still records the true peak of the run.
+        assert capped.scratch_high_water_bytes == uncapped.scratch_high_water_bytes
+
+    def test_scratch_rows_cap_validation(self, pool_parts):
+        featurizer = make_featurizer(pool_parts)
+        model = make_model(featurizer)
+        with pytest.raises(ValueError):
+            InferenceEngine(model, dtype=np.float64, scratch_rows_cap=0)
+
+
+class TestEstimatorIntegration:
+    def test_pooled_estimator_matches_single_engine_estimator(
+        self, tiny_database, tiny_samples, tiny_workload
+    ):
+        """estimate_many through a replica pool is bit-identical to the
+        default single-engine configuration (same weights, same chunking)."""
+        base = MSCNConfig(
+            hidden_units=24, epochs=6, batch_size=32, num_samples=50, seed=13
+        )
+        single = MSCNEstimator(tiny_database, base, samples=tiny_samples)
+        single.fit(tiny_workload)
+        pooled = MSCNEstimator(
+            tiny_database,
+            base.replace(engine_replicas=3, inference_chunk_size=16),
+            samples=tiny_samples,
+        )
+        pooled.fit(tiny_workload)
+        pooled._model.load_state_dict(single._model.state_dict())
+
+        queries = [labelled.query for labelled in tiny_workload]
+        np.testing.assert_array_equal(
+            pooled.estimate_many(queries),
+            single._trainer.predict(single.serving_dataset(queries), batch_size=16),
+        )
+        # The optimizer fan-out path (chunk size 1) is pooled too and stays
+        # bit-identical to per-subquery estimates.
+        query = max(queries, key=lambda q: len(q.tables))
+        assert pooled.estimate_subplans(query) == single.estimate_subplans(query)
+
+    def test_estimator_scratch_introspection(
+        self, tiny_database, tiny_samples, tiny_workload
+    ):
+        config = MSCNConfig(
+            hidden_units=24,
+            epochs=2,
+            batch_size=32,
+            num_samples=50,
+            seed=13,
+            engine_replicas=2,
+            scratch_rows_cap=512,
+        )
+        estimator = MSCNEstimator(tiny_database, config, samples=tiny_samples)
+        assert estimator.scratch_high_water_bytes == 0  # no pool built yet
+        estimator.fit(tiny_workload)
+        estimator.estimate_many([labelled.query for labelled in tiny_workload[:16]])
+        assert estimator.scratch_high_water_bytes > 0
+        estimator.reset_inference_scratch()
+        assert estimator._trainer._pool.scratch_bytes() == 0
+        # The high-water mark survives the reset.
+        assert estimator.scratch_high_water_bytes > 0
+
+
+class TestConfigKnobs:
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("engine_replicas", 0),
+            ("inference_chunk_size", 0),
+            ("scratch_rows_cap", 0),
+            ("inference_precision", "int16"),
+        ],
+    )
+    def test_rejects_invalid_serving_knobs(self, field, value):
+        with pytest.raises(ValueError):
+            MSCNConfig(**{field: value})
+
+    def test_chunk_size_error_is_self_describing(self):
+        with pytest.raises(ValueError, match="inference_chunk_size must be >= 1"):
+            MSCNConfig(inference_chunk_size=-3)
+
+    def test_precision_accepts_aliases_and_none(self):
+        assert MSCNConfig(inference_precision="half").inference_precision == "float16"
+        assert MSCNConfig(inference_precision=None).inference_precision is None
+        assert MSCNConfig(inference_precision="int8").inference_precision == "int8"

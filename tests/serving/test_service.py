@@ -402,3 +402,65 @@ class TestSubplanFanout:
             hits_after = service.stats().cache_hits
         # The earlier standalone request answered at least that sub-plan.
         assert hits_after > hits_before
+
+
+class TestZeroCopyAndPooledServing:
+    """The parallel low-precision tier behind the service front-end."""
+
+    def test_service_uses_the_zero_copy_featurization_path(
+        self, serving_estimator, serving_queries
+    ):
+        with EstimationService(serving_estimator) as service:
+            assert service._buffers_supported
+            served = service.estimate_many(serving_queries)
+            stats = service.stats()
+        np.testing.assert_array_equal(
+            served, serving_estimator.estimate_many(serving_queries)
+        )
+        # The batcher featurized into the service's reusable buffers and the
+        # model's engine pool recorded its scratch peak.
+        assert stats.feature_buffer_bytes > 0
+        assert stats.scratch_high_water_bytes > 0
+
+    def test_pooled_low_precision_model_serves_identically_to_direct(
+        self, tiny_database, tiny_samples, tiny_workload, serving_queries
+    ):
+        config = MSCNConfig(
+            hidden_units=24,
+            epochs=6,
+            batch_size=32,
+            num_samples=50,
+            seed=13,
+            engine_replicas=2,
+            inference_chunk_size=16,
+            inference_precision="float16",
+            scratch_rows_cap=2048,
+        )
+        estimator = MSCNEstimator(tiny_database, config, samples=tiny_samples)
+        estimator.fit(tiny_workload)
+        with EstimationService(estimator) as service:
+            served = service.estimate_many(serving_queries)
+        np.testing.assert_array_equal(served, estimator.estimate_many(serving_queries))
+
+    def test_swap_resets_feature_buffers_and_redetects_support(
+        self, serving_estimator, serving_queries
+    ):
+        class LegacyModel:
+            """A model without the buffers parameter (pre-pool interface)."""
+
+            def serving_dataset(self, queries):
+                return serving_estimator.serving_dataset(queries)
+
+            def estimate_featurized(self, features):
+                return serving_estimator.estimate_featurized(features)
+
+        with EstimationService(serving_estimator) as service:
+            service.estimate_many(serving_queries[:16])
+            assert service._feature_buffers.nbytes > 0
+            service.swap_model(LegacyModel())
+            assert not service._buffers_supported
+            assert service._feature_buffers.nbytes == 0
+            served = service.estimate_many(serving_queries[:16])
+        np.testing.assert_array_equal(
+            served, serving_estimator.estimate_many(serving_queries[:16])
+        )
