@@ -51,6 +51,7 @@ import numpy as np
 
 from repro.core.model import MSCN
 from repro.nn.functional import segment_sum_array
+from repro.utils.faults import fault_point
 
 __all__ = [
     "EngineLayer",
@@ -369,6 +370,7 @@ class InferenceEngine:
         size = dataset.size
         if size == 0:
             return np.empty(0, dtype=self.dtype)
+        fault_point("engine.run", batch_size=size)
         with self._run_lock:
             active = snapshot if snapshot is not None else self._snapshot
             result = self._run_locked(dataset, size, active.layers)

@@ -177,8 +177,29 @@ class EnginePool:
                 output[start:stop] = engine.run(dataset.slice(start, stop), snapshot=snapshot)
 
         futures = [self._submit(run_chunks, worker) for worker in range(num_workers)]
-        for future in futures:
-            future.result()
+        # Observe every worker before raising: bailing on the first error
+        # would leave the rest still writing into ``output`` after run_many
+        # returned (a use-after-return race) and would discard their
+        # diagnostics.  The first failure (in worker order) propagates; the
+        # others are recorded as context on its message.
+        errors: "list[tuple[int, BaseException]]" = []
+        for worker, future in enumerate(futures):
+            try:
+                future.result()
+            except BaseException as error:  # noqa: BLE001 — re-raised below
+                errors.append((worker, error))
+        if errors:
+            first_worker, first_error = errors[0]
+            if len(errors) > 1:
+                others = ", ".join(
+                    f"replica {worker}: {error!r}" for worker, error in errors[1:]
+                )
+                raise RuntimeError(
+                    f"{len(errors)}/{num_workers} engine replicas failed; "
+                    f"first failure on replica {first_worker}: {first_error!r}; "
+                    f"also: {others}"
+                ) from first_error
+            raise first_error
         return output
 
     def _submit(self, function, *args):

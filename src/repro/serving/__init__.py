@@ -9,21 +9,42 @@ package turns the fused inference engine of ``repro.core`` into a service:
     queries into an LRU result cache, coalesces concurrent callers into
     micro-batches feeding one fused pass, and routes low-confidence queries
     (high ensemble spread, out-of-range join counts) to a traditional
-    fallback estimator.
+    fallback estimator.  Bounded admission, per-request deadlines, a
+    circuit breaker over inference, and a batcher watchdog guarantee every
+    request resolves to an estimate or a typed error — never a silent hang.
 ``repro.serving.cache``
     :class:`ResultCache` — the signature-keyed LRU with hit/miss/eviction
     accounting.
 ``repro.serving.registry``
-    :class:`ModelRegistry` — named, versioned model persistence with
-    atomically updated "current" pointers, feeding the service's hot-swap.
+    :class:`ModelRegistry` — named, versioned, checksum-verified model
+    persistence with atomically updated "current" pointers, retrying loads
+    (:class:`RetryPolicy`) and rolling back failed promotions.
+``repro.serving.breaker``
+    :class:`CircuitBreaker` — the closed/open/half-open state machine that
+    keeps traffic off a failing model path.
+``repro.serving.errors``
+    The typed exception hierarchy callers program against
+    (:class:`ServiceOverloadedError`, :class:`DeadlineExceededError`, ...).
 ``repro.serving.stats``
     :class:`ServiceStats` — an extended :class:`~repro.core.estimator.
     PredictionTiming` snapshot (cache hit rate, batch-size histogram,
-    per-stage latency, fallback rate).
+    per-stage latency, fallback rate, reliability counters).
 """
 
+from repro.serving.breaker import BreakerState, CircuitBreaker
 from repro.serving.cache import ResultCache
-from repro.serving.registry import ModelRegistry
+from repro.serving.errors import (
+    BatcherCrashedError,
+    DeadlineExceededError,
+    ModelLoadError,
+    ModelPromotionError,
+    ModelUnavailableError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+    SnapshotCorruptionError,
+)
+from repro.serving.registry import ModelRegistry, RetryPolicy
 from repro.serving.service import EstimationService, ServiceConfig
 from repro.serving.stats import ServiceStats
 
@@ -31,6 +52,18 @@ __all__ = [
     "EstimationService",
     "ServiceConfig",
     "ModelRegistry",
+    "RetryPolicy",
     "ResultCache",
     "ServiceStats",
+    "BreakerState",
+    "CircuitBreaker",
+    "ServiceError",
+    "ServiceClosedError",
+    "ServiceOverloadedError",
+    "DeadlineExceededError",
+    "BatcherCrashedError",
+    "ModelUnavailableError",
+    "ModelLoadError",
+    "SnapshotCorruptionError",
+    "ModelPromotionError",
 ]

@@ -76,6 +76,17 @@ class ResultCache:
         with self._lock:
             self._entries.clear()
 
+    def stats(self) -> dict:
+        """One consistent snapshot of size and counters (health endpoints)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+            }
+
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         with self._lock:

@@ -1,4 +1,4 @@
-"""Named, versioned persistence of trained estimators.
+"""Named, versioned, checksum-verified persistence of trained estimators.
 
 :class:`ModelRegistry` wraps :meth:`MSCNEstimator.save`/:meth:`load` with the
 layout a serving deployment needs: every publish writes a new immutable
@@ -7,33 +7,114 @@ atomic ``os.replace`` — names the version serving traffic should use.
 Readers therefore never observe a half-written model: either the old pointer
 (old weights) or the new pointer (fully written new weights).
 
+On top of the atomic layout the registry is crash-safe end to end:
+
+* every publish records a ``MANIFEST.json`` of sha256 checksums inside the
+  version directory, and every load verifies it — silently corrupted bytes
+  (bad disk, truncated copy, an injected ``corrupt`` fault) surface as a
+  typed :class:`~repro.serving.errors.SnapshotCorruptionError` instead of a
+  model that loads and estimates garbage,
+* transient load failures retry with jittered exponential backoff
+  (:class:`RetryPolicy`; corruption is *not* retried — version directories
+  are immutable, so a checksum mismatch cannot heal),
+* :meth:`promote` publishes, re-loads (checksum-verified) and validates a
+  new version before leaving ``CURRENT`` pointed at it, automatically
+  rolling the pointer back to the previous version when the new model fails
+  to load or validate.
+
 Layout on disk::
 
-    <root>/<name>/versions/<n>/   # one MSCNEstimator.save() tree per publish
-    <root>/<name>/CURRENT         # text file holding the current version id
+    <root>/<name>/versions/<n>/               # one MSCNEstimator.save() tree
+    <root>/<name>/versions/<n>/MANIFEST.json  # sha256 per snapshot file
+    <root>/<name>/CURRENT                     # current version id (text)
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
+import random
 import re
 import shutil
+import time
+from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable
 
 from repro.core.estimator import MSCNEstimator
 from repro.db.table import Database
+from repro.serving.errors import (
+    ModelLoadError,
+    ModelPromotionError,
+    SnapshotCorruptionError,
+)
+from repro.utils.faults import fault_point
 
-__all__ = ["ModelRegistry"]
+__all__ = ["ModelRegistry", "RetryPolicy"]
 
 _NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+_MANIFEST_NAME = "MANIFEST.json"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential backoff for transient model-load failures.
+
+    Attempt ``k`` (0-based) sleeps ``base_delay_seconds * multiplier**k``
+    capped at ``max_delay_seconds``, stretched by a uniform jitter factor in
+    ``[1, 1 + jitter]`` drawn from a seeded stream — deterministic schedules
+    keep the chaos tests and the fault-injection benchmark replayable.
+    """
+
+    max_attempts: int = 3
+    base_delay_seconds: float = 0.05
+    multiplier: float = 2.0
+    max_delay_seconds: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_seconds < 0:
+            raise ValueError("base_delay_seconds must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if self.max_delay_seconds < 0:
+            raise ValueError("max_delay_seconds must be non-negative")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+
+    def delays(self) -> list[float]:
+        """The full backoff schedule (one delay per retry, deterministic)."""
+        stream = random.Random(self.seed)
+        delays = []
+        for attempt in range(self.max_attempts - 1):
+            delay = min(
+                self.base_delay_seconds * self.multiplier**attempt,
+                self.max_delay_seconds,
+            )
+            delays.append(delay * (1.0 + stream.random() * self.jitter))
+        return delays
 
 
 class ModelRegistry:
-    """A directory of named, versioned MSCN models for one database snapshot."""
+    """A directory of named, versioned MSCN models for one database snapshot.
 
-    def __init__(self, root: str | os.PathLike, database: Database):
+    ``sleeper`` is injectable so retry backoff is testable without real
+    waiting.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        database: Database,
+        sleeper: Callable[[float], None] = time.sleep,
+    ):
         self.root = Path(root)
         self.database = database
+        self._sleeper = sleeper
         self.root.mkdir(parents=True, exist_ok=True)
 
     # ------------------------------------------------------------------
@@ -54,7 +135,12 @@ class ModelRegistry:
     # ------------------------------------------------------------------
     def publish(self, name: str, estimator: MSCNEstimator) -> int:
         """Persist ``estimator`` as the next version of ``name`` and point
-        ``CURRENT`` at it.  Returns the new version id."""
+        ``CURRENT`` at it.  Returns the new version id.
+
+        The snapshot (including its checksum manifest) is staged and moved
+        into place with one ``os.replace``, so a version directory either
+        exists complete-with-manifest or not at all.
+        """
         versions_root = self._model_dir(name) / "versions"
         versions_root.mkdir(parents=True, exist_ok=True)
         version = max(self.versions(name), default=0) + 1
@@ -64,6 +150,7 @@ class ModelRegistry:
             shutil.rmtree(staging)
         try:
             estimator.save(staging)
+            self._write_manifest(staging)
             os.replace(staging, final)
         except BaseException:
             shutil.rmtree(staging, ignore_errors=True)
@@ -71,11 +158,102 @@ class ModelRegistry:
         self._write_current(name, version)
         return version
 
+    def promote(
+        self,
+        name: str,
+        estimator: MSCNEstimator,
+        validator: Callable[[MSCNEstimator], bool] | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> int:
+        """Publish a new version, but only keep ``CURRENT`` on it if it
+        survives a checksum-verified re-load and (optionally) validation.
+
+        ``validator`` receives the *re-loaded* estimator — the bytes serving
+        would actually use — and vetoes the promotion by returning ``False``
+        or raising.  On any failure ``CURRENT`` is rolled back to the version
+        it pointed at before the publish (or removed if this was the first)
+        and a :class:`ModelPromotionError` is raised with the cause chained.
+        """
+        pointer = self._model_dir(name) / "CURRENT"
+        previous = self.current_version(name) if pointer.exists() else None
+        version = self.publish(name, estimator)
+        try:
+            loaded = self.load(name, version, retry=retry)
+            if validator is not None and validator(loaded) is False:
+                raise ModelPromotionError(
+                    f"validator rejected {name!r} version {version}"
+                )
+        except BaseException as error:
+            if previous is not None:
+                self._write_current(name, previous)
+            else:
+                pointer.unlink(missing_ok=True)
+            raise ModelPromotionError(
+                f"promotion of {name!r} version {version} failed "
+                f"(rolled back to {previous}): {error}"
+            ) from error
+        return version
+
     def _write_current(self, name: str, version: int) -> None:
         pointer = self._model_dir(name) / "CURRENT"
         staging = pointer.with_name(f".CURRENT.tmp-{os.getpid()}")
         staging.write_text(f"{version}\n", encoding="utf-8")
         os.replace(staging, pointer)
+
+    # ------------------------------------------------------------------
+    # Checksum manifest
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _file_digest(path: Path) -> str:
+        digest = hashlib.sha256()
+        with open(path, "rb") as handle:
+            for block in iter(lambda: handle.read(1 << 20), b""):
+                digest.update(block)
+        return digest.hexdigest()
+
+    def _write_manifest(self, directory: Path) -> None:
+        files = {
+            str(entry.relative_to(directory)): self._file_digest(entry)
+            for entry in sorted(directory.rglob("*"))
+            if entry.is_file() and entry.name != _MANIFEST_NAME
+        }
+        manifest = {"algorithm": "sha256", "files": files}
+        (directory / _MANIFEST_NAME).write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    def verify(self, name: str, version: int) -> None:
+        """Check the stored snapshot against its manifest.
+
+        Raises :class:`SnapshotCorruptionError` naming every missing or
+        mismatched file.  Versions published before manifests existed are
+        accepted as-is (nothing to verify against).
+        """
+        directory = self._version_dir(name, version)
+        if not directory.is_dir():
+            raise KeyError(f"model {name!r} has no version {version}")
+        manifest_path = directory / _MANIFEST_NAME
+        if not manifest_path.exists():
+            return
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+            recorded = dict(manifest["files"])
+        except (ValueError, KeyError, TypeError) as error:
+            raise SnapshotCorruptionError(
+                f"unreadable manifest for {name!r} version {version}: {error}"
+            ) from error
+        problems = []
+        for relative, expected in sorted(recorded.items()):
+            path = directory / relative
+            if not path.is_file():
+                problems.append(f"missing file {relative}")
+            elif self._file_digest(path) != expected:
+                problems.append(f"checksum mismatch in {relative}")
+        if problems:
+            raise SnapshotCorruptionError(
+                f"model {name!r} version {version} failed verification: "
+                + "; ".join(problems)
+            )
 
     # ------------------------------------------------------------------
     def names(self) -> list[str]:
@@ -110,11 +288,46 @@ class ModelRegistry:
             raise KeyError(f"model {name!r} has no version {version}")
         self._write_current(name, version)
 
-    def load(self, name: str, version: int | None = None) -> MSCNEstimator:
-        """Load ``name`` at ``version`` (default: the ``CURRENT`` pointer)."""
+    def previous_version(self, name: str) -> int | None:
+        """The newest published version older than ``CURRENT`` (rollback
+        target), or ``None`` when ``CURRENT`` is the oldest."""
+        current = self.current_version(name)
+        older = [version for version in self.versions(name) if version < current]
+        return max(older, default=None)
+
+    def load(
+        self,
+        name: str,
+        version: int | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> MSCNEstimator:
+        """Load ``name`` at ``version`` (default: the ``CURRENT`` pointer).
+
+        Each attempt verifies the snapshot's checksum manifest before
+        deserializing.  With a ``retry`` policy, transient failures back off
+        and try again; corruption raises immediately (immutable versions
+        cannot heal) and exhausted retries raise :class:`ModelLoadError`
+        with the last cause chained.
+        """
         if version is None:
             version = self.current_version(name)
         directory = self._version_dir(name, version)
         if not directory.is_dir():
             raise KeyError(f"model {name!r} has no version {version}")
-        return MSCNEstimator.load(directory, self.database)
+        delays = retry.delays() if retry is not None else []
+        last_error: Exception | None = None
+        for attempt in range(len(delays) + 1):
+            try:
+                fault_point("registry.load", path=directory, name=name, version=version)
+                self.verify(name, version)
+                return MSCNEstimator.load(directory, self.database)
+            except SnapshotCorruptionError:
+                raise
+            except Exception as error:  # noqa: BLE001 — classified below
+                last_error = error
+                if attempt < len(delays):
+                    self._sleeper(delays[attempt])
+        raise ModelLoadError(
+            f"loading model {name!r} version {version} failed after "
+            f"{len(delays) + 1} attempt(s): {last_error}"
+        ) from last_error

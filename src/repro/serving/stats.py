@@ -4,9 +4,11 @@
 needs to judge a running :class:`~repro.serving.service.EstimationService`:
 the per-stage latency breakdown inherited from
 :class:`~repro.core.estimator.PredictionTiming`, plus cache effectiveness,
-fallback routing volume and the micro-batch size histogram (how well
-concurrent callers coalesce).  :class:`StatsAccumulator` is its mutable,
-lock-protected counterpart the service updates on the hot path.
+fallback routing volume, the micro-batch size histogram (how well concurrent
+callers coalesce) and the reliability-layer counters — shed / degraded /
+expired request volume, circuit-breaker state and open count, batcher
+watchdog restarts.  :class:`StatsAccumulator` is its mutable, lock-protected
+counterpart the service updates on the hot path.
 """
 
 from __future__ import annotations
@@ -15,6 +17,7 @@ import threading
 from dataclasses import dataclass, field
 
 from repro.core.estimator import PredictionTiming
+from repro.serving.breaker import BreakerState
 
 __all__ = ["ServiceStats", "StatsAccumulator"]
 
@@ -28,6 +31,16 @@ class ServiceStats(PredictionTiming):
     that reached the model, and ``fallback_seconds`` the ones routed to the
     traditional estimator.  ``batch_size_histogram`` maps fused micro-batch
     sizes to how often they occurred.
+
+    The reliability counters partition failure handling: ``shed_queries``
+    were rejected by admission control (typed
+    :class:`~repro.serving.errors.ServiceOverloadedError`), ``degraded_queries``
+    were answered by the fallback estimator because the model path was
+    unavailable (overload-degrade policy, open circuit breaker, or an
+    inference failure) — distinct from ``fallback_queries``, which counts
+    deliberate uncertainty routing — and ``expired_queries`` missed their
+    deadline and were answered with a typed timeout error instead of being
+    featurized as dead work.
     """
 
     cache_hits: int = 0
@@ -44,6 +57,20 @@ class ServiceStats(PredictionTiming):
     #: Bytes pinned by the service's reusable featurization buffers (0 when
     #: the model does not support the zero-copy featurize-into path).
     feature_buffer_bytes: int = 0
+    #: Queries rejected by admission control (bounded queue, reject policy).
+    shed_queries: int = 0
+    #: Queries answered by the fallback because the model path was down.
+    degraded_queries: int = 0
+    #: Queries that expired before compute and got a typed timeout error.
+    expired_queries: int = 0
+    #: Inference attempts the circuit breaker recorded as failures.
+    inference_failures: int = 0
+    #: Circuit-breaker state at snapshot time (closed / open / half_open).
+    breaker_state: str = BreakerState.CLOSED
+    #: How many times the breaker has opened since the service started.
+    breaker_opens: int = 0
+    #: How many times the watchdog restarted a dead batcher thread.
+    batcher_restarts: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -74,7 +101,7 @@ class ServiceStats(PredictionTiming):
 
     def describe(self) -> str:
         """A one-paragraph human-readable summary (examples, smoke logs)."""
-        return (
+        summary = (
             f"{self.num_queries} queries: {self.cache_hits} cache hits "
             f"({100.0 * self.cache_hit_rate:.1f}%), {self.fallback_queries} fallbacks "
             f"({100.0 * self.fallback_rate:.1f}%), {self.coalesced_batches} fused batches "
@@ -83,6 +110,22 @@ class ServiceStats(PredictionTiming):
             f"infer {1000.0 * self.inference_seconds:.2f} ms, "
             f"fallback {1000.0 * self.fallback_seconds:.2f} ms"
         )
+        if (
+            self.shed_queries
+            or self.degraded_queries
+            or self.expired_queries
+            or self.inference_failures
+            or self.batcher_restarts
+            or self.breaker_state != BreakerState.CLOSED
+        ):
+            summary += (
+                f"; reliability: breaker {self.breaker_state} "
+                f"({self.breaker_opens} opens), {self.shed_queries} shed, "
+                f"{self.degraded_queries} degraded, {self.expired_queries} expired, "
+                f"{self.inference_failures} inference failures, "
+                f"{self.batcher_restarts} batcher restarts"
+            )
+        return summary
 
 
 class StatsAccumulator:
@@ -101,6 +144,11 @@ class StatsAccumulator:
         self.fallback_seconds = 0.0
         self.bitmap_cache_hits = 0
         self.batch_size_histogram: dict[int, int] = {}
+        self.shed_queries = 0
+        self.degraded_queries = 0
+        self.expired_queries = 0
+        self.inference_failures = 0
+        self.batcher_restarts = 0
 
     def record_lookups(self, hits: int, misses: int) -> None:
         with self._lock:
@@ -133,11 +181,34 @@ class StatsAccumulator:
         with self._lock:
             self.model_swaps += 1
 
+    def record_shed(self, num_queries: int) -> None:
+        with self._lock:
+            self.shed_queries += num_queries
+
+    def record_degraded(self, num_queries: int, seconds: float) -> None:
+        with self._lock:
+            self.degraded_queries += num_queries
+            self.fallback_seconds += seconds
+
+    def record_expired(self, num_queries: int) -> None:
+        with self._lock:
+            self.expired_queries += num_queries
+
+    def record_inference_failure(self) -> None:
+        with self._lock:
+            self.inference_failures += 1
+
+    def record_batcher_restart(self) -> None:
+        with self._lock:
+            self.batcher_restarts += 1
+
     def snapshot(
         self,
         cache_evictions: int = 0,
         scratch_high_water_bytes: int = 0,
         feature_buffer_bytes: int = 0,
+        breaker_state: str = BreakerState.CLOSED,
+        breaker_opens: int = 0,
     ) -> ServiceStats:
         with self._lock:
             return ServiceStats(
@@ -155,4 +226,11 @@ class StatsAccumulator:
                 coalesced_batches=self.coalesced_batches,
                 model_swaps=self.model_swaps,
                 batch_size_histogram=dict(self.batch_size_histogram),
+                shed_queries=self.shed_queries,
+                degraded_queries=self.degraded_queries,
+                expired_queries=self.expired_queries,
+                inference_failures=self.inference_failures,
+                breaker_state=breaker_state,
+                breaker_opens=breaker_opens,
+                batcher_restarts=self.batcher_restarts,
             )

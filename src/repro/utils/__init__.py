@@ -1,7 +1,18 @@
-"""Shared utilities: deterministic RNG management, timing, benchmark records."""
+"""Shared utilities: deterministic RNG management, timing, benchmark
+records, and seeded fault injection for the reliability test harness."""
 
 from repro.utils.bench import latency_percentiles_ms, write_bench_json
+from repro.utils.faults import FaultPlan, FaultSpec, InjectedFault, fault_point
 from repro.utils.rng import spawn_rng
 from repro.utils.timer import Timer
 
-__all__ = ["spawn_rng", "Timer", "latency_percentiles_ms", "write_bench_json"]
+__all__ = [
+    "spawn_rng",
+    "Timer",
+    "latency_percentiles_ms",
+    "write_bench_json",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "fault_point",
+]

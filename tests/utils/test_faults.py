@@ -1,0 +1,195 @@
+"""Tests of the deterministic fault-injection harness."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.utils.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    active_plan,
+    fault_point,
+)
+
+
+class TestFaultSpecValidation:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultSpec("engine.run", kind="explode")
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            FaultSpec("engine.run", probability=1.5)
+
+    def test_rejects_negative_counters(self):
+        with pytest.raises(ValueError):
+            FaultSpec("engine.run", max_triggers=-1)
+        with pytest.raises(ValueError):
+            FaultSpec("engine.run", skip_first=-1)
+        with pytest.raises(ValueError):
+            FaultSpec("engine.run", kind="latency", latency_seconds=-0.1)
+
+
+def _trigger_pattern(plan: FaultPlan, site: str, fires: int) -> list[bool]:
+    pattern = []
+    for _ in range(fires):
+        try:
+            plan.fire(site)
+            pattern.append(False)
+        except InjectedFault:
+            pattern.append(True)
+    return pattern
+
+
+class TestDeterminism:
+    def test_same_seed_replays_identically(self):
+        specs = [FaultSpec("engine.run", probability=0.5)]
+        first = _trigger_pattern(FaultPlan(specs, seed=42), "engine.run", 100)
+        second = _trigger_pattern(FaultPlan(specs, seed=42), "engine.run", 100)
+        assert first == second
+        assert any(first) and not all(first)  # probabilistic, not degenerate
+
+    def test_different_seeds_differ(self):
+        specs = [FaultSpec("engine.run", probability=0.5)]
+        first = _trigger_pattern(FaultPlan(specs, seed=1), "engine.run", 100)
+        second = _trigger_pattern(FaultPlan(specs, seed=2), "engine.run", 100)
+        assert first != second
+
+    def test_specs_draw_from_independent_streams(self):
+        """Interleaving an unrelated site does not shift another spec's draws."""
+        specs = [
+            FaultSpec("engine.run", probability=0.5),
+            FaultSpec("registry.load", probability=0.5),
+        ]
+        alone = _trigger_pattern(FaultPlan(specs, seed=3), "engine.run", 50)
+        interleaved_plan = FaultPlan(specs, seed=3)
+        interleaved = []
+        for _ in range(50):
+            try:
+                interleaved_plan.fire("registry.load")
+            except InjectedFault:
+                pass
+            try:
+                interleaved_plan.fire("engine.run")
+                interleaved.append(False)
+            except InjectedFault:
+                interleaved.append(True)
+        assert interleaved == alone
+
+
+class TestScheduling:
+    def test_skip_first_passes_untouched(self):
+        plan = FaultPlan([FaultSpec("engine.run", skip_first=3)])
+        pattern = _trigger_pattern(plan, "engine.run", 5)
+        assert pattern == [False, False, False, True, True]
+
+    def test_max_triggers_bounds_the_chaos(self):
+        plan = FaultPlan([FaultSpec("engine.run", max_triggers=2)])
+        pattern = _trigger_pattern(plan, "engine.run", 5)
+        assert pattern == [True, True, False, False, False]
+        assert plan.triggered("engine.run") == 2
+        assert plan.evaluations("engine.run") == 5
+
+    def test_unmatched_sites_are_untouched(self):
+        plan = FaultPlan([FaultSpec("engine.run")])
+        plan.fire("registry.load")  # no matching spec: no fault
+        assert plan.evaluations() == 0
+
+    def test_report_rows(self):
+        plan = FaultPlan([FaultSpec("engine.run", max_triggers=1)])
+        _trigger_pattern(plan, "engine.run", 3)
+        (row,) = plan.report()
+        assert row["site"] == "engine.run"
+        assert row["evaluations"] == 3
+        assert row["triggered"] == 1
+
+
+class TestFaultKinds:
+    def test_error_kind_raises_injected_fault(self):
+        plan = FaultPlan([FaultSpec("engine.run")])
+        with pytest.raises(InjectedFault) as excinfo:
+            plan.fire("engine.run")
+        assert excinfo.value.site == "engine.run"
+        assert excinfo.value.ordinal == 1
+
+    def test_latency_kind_sleeps_the_configured_spike(self):
+        naps: list[float] = []
+        plan = FaultPlan(
+            [FaultSpec("engine.run", kind="latency", latency_seconds=0.25)],
+            sleeper=naps.append,
+        )
+        plan.fire("engine.run")
+        assert naps == [0.25]
+
+    def test_corrupt_kind_flips_one_deterministic_byte(self, tmp_path):
+        target = tmp_path / "weights.bin"
+        original = bytes(range(256)) * 4
+        flips = []
+        for _ in range(2):
+            target.write_bytes(original)
+            FaultPlan([FaultSpec("registry.load", kind="corrupt")], seed=9).fire(
+                "registry.load", path=target
+            )
+            mutated = target.read_bytes()
+            assert len(mutated) == len(original)
+            diff = [i for i, (a, b) in enumerate(zip(original, mutated)) if a != b]
+            assert len(diff) == 1
+            flips.append(diff[0])
+        assert flips[0] == flips[1]  # deterministic offset across runs
+
+    def test_corrupt_on_directory_targets_largest_file(self, tmp_path):
+        small = tmp_path / "metadata.json"
+        large = tmp_path / "weights.npz"
+        small.write_bytes(b"tiny")
+        large.write_bytes(b"\x00" * 4096)
+        FaultPlan([FaultSpec("registry.load", kind="corrupt")]).fire(
+            "registry.load", path=tmp_path
+        )
+        assert small.read_bytes() == b"tiny"
+        assert large.read_bytes() != b"\x00" * 4096
+
+    def test_corrupt_without_a_path_still_faults(self):
+        plan = FaultPlan([FaultSpec("registry.load", kind="corrupt")])
+        with pytest.raises(InjectedFault):
+            plan.fire("registry.load")
+
+
+class TestActivation:
+    def test_fault_point_is_noop_without_a_plan(self):
+        assert active_plan() is None
+        fault_point("engine.run")  # no plan: must not raise
+
+    def test_activate_installs_and_removes_the_plan(self):
+        plan = FaultPlan([FaultSpec("engine.run")])
+        with plan.activate():
+            assert active_plan() is plan
+            with pytest.raises(InjectedFault):
+                fault_point("engine.run")
+        assert active_plan() is None
+        fault_point("engine.run")  # deactivated again
+
+    def test_only_one_plan_at_a_time(self):
+        first = FaultPlan([FaultSpec("engine.run")])
+        second = FaultPlan([FaultSpec("engine.run")])
+        with first.activate():
+            with pytest.raises(RuntimeError):
+                with second.activate():
+                    pass
+        with second.activate():  # fine once the first released
+            pass
+
+    def test_counters_are_thread_safe(self):
+        plan = FaultPlan([FaultSpec("engine.run", probability=0.0)])
+        threads = [
+            threading.Thread(target=lambda: [plan.fire("engine.run") for _ in range(200)])
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert plan.evaluations("engine.run") == 8 * 200
+        assert plan.triggered() == 0
