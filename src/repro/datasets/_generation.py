@@ -4,13 +4,31 @@ Every registered dataset plants the same *kinds* of structure — Zipf-skewed
 categorical values, Poisson fan-outs around attribute-dependent means, and
 leaky conditional draws that create join-crossing correlations — so the
 primitives live here and the per-dataset modules only express the shapes.
+
+The second half of the module is the streaming-emission machinery of the
+``scale="large"`` tier: generators produce their big (fan-out) tables as a
+sequence of row *chunks*, each drawn from its own deterministically derived
+RNG stream and appended into a :class:`ColumnBlockWriter`, so peak memory
+stays bounded by the finished table plus one chunk of intermediates instead
+of several whole-table temporaries.  ``chunk_rows=None`` yields a single
+chunk whose RNG stream label equals the legacy per-table label, which makes
+the un-chunked path bit-identical to the historical generators.
 """
 
 from __future__ import annotations
 
+from typing import Iterator, Mapping, Sequence
+
 import numpy as np
 
-__all__ = ["zipf_choice", "fanout_counts", "sliced_choice"]
+__all__ = [
+    "zipf_choice",
+    "fanout_counts",
+    "sliced_choice",
+    "chunk_spans",
+    "chunk_stream_label",
+    "ColumnBlockWriter",
+]
 
 
 def zipf_choice(
@@ -56,3 +74,107 @@ def sliced_choice(
             slice_index[conditional] * width + within, 1, population
         )
     return ids
+
+
+# ---------------------------------------------------------------------------
+# Streaming chunked emission
+
+
+def chunk_spans(total: int, chunk_rows: int | None) -> Iterator[tuple[int, int, int]]:
+    """Yield ``(index, start, stop)`` spans covering ``range(total)``.
+
+    ``chunk_rows=None`` yields the single span ``(0, 0, total)`` — the legacy
+    whole-array path.  Otherwise spans are ``chunk_rows`` long except for a
+    shorter tail.  ``total == 0`` yields nothing in either mode.
+    """
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    if total == 0:
+        return
+    if chunk_rows is None:
+        yield 0, 0, total
+        return
+    if chunk_rows < 1:
+        raise ValueError("chunk_rows must be at least 1 when given")
+    for index, start in enumerate(range(0, total, chunk_rows)):
+        yield index, start, min(start + chunk_rows, total)
+
+
+def chunk_stream_label(name: str, chunk_rows: int | None, index: int) -> str:
+    """RNG stream label of one generation chunk.
+
+    The un-chunked path keeps the historical per-table label so its output is
+    bit-identical to the pre-streaming generators; chunked mode derives one
+    independent stream per chunk, making output deterministic for a fixed
+    ``(seed, chunk_rows)`` without any RNG state threading between chunks.
+    """
+    if chunk_rows is None:
+        return name
+    return f"{name}[{index}]"
+
+
+class ColumnBlockWriter:
+    """Growable columnar accumulator for streamed table emission.
+
+    Generators append one dict of equal-length column arrays per chunk; at
+    ``finalize`` the per-column chunk lists are concatenated once into the
+    final contiguous int64 columns.  Peak memory is the finished table plus
+    one chunk of intermediates — the generator never holds two whole-table
+    temporaries at once.
+    """
+
+    def __init__(self, columns: Sequence[str]):
+        if not columns:
+            raise ValueError("ColumnBlockWriter needs at least one column")
+        self._columns = tuple(columns)
+        self._chunks: dict[str, list[np.ndarray]] = {name: [] for name in self._columns}
+        self._num_rows = 0
+        self._finalized = False
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return self._columns
+
+    @property
+    def num_rows(self) -> int:
+        """Rows appended so far."""
+        return self._num_rows
+
+    def append(self, block: Mapping[str, np.ndarray]) -> None:
+        """Append one chunk: equal-length arrays for every declared column."""
+        if self._finalized:
+            raise RuntimeError("writer already finalized")
+        if set(block) != set(self._columns):
+            missing = sorted(set(self._columns) - set(block))
+            extra = sorted(set(block) - set(self._columns))
+            raise ValueError(
+                f"chunk columns mismatch (missing {missing!r}, unexpected {extra!r})"
+            )
+        lengths = {name: len(block[name]) for name in self._columns}
+        if len(set(lengths.values())) > 1:
+            raise ValueError(f"chunk columns disagree on length: {lengths!r}")
+        rows = lengths[self._columns[0]]
+        if rows == 0:
+            return
+        for name in self._columns:
+            self._chunks[name].append(np.asarray(block[name]))
+        self._num_rows += rows
+
+    def finalize(self) -> dict[str, np.ndarray]:
+        """Concatenate all appended chunks into final int64 columns."""
+        if self._finalized:
+            raise RuntimeError("writer already finalized")
+        self._finalized = True
+        out: dict[str, np.ndarray] = {}
+        for name in self._columns:
+            chunks = self._chunks[name]
+            if not chunks:
+                out[name] = np.empty(0, dtype=np.int64)
+            elif len(chunks) == 1:
+                out[name] = np.ascontiguousarray(chunks[0], dtype=np.int64)
+            else:
+                out[name] = np.concatenate(
+                    [np.asarray(chunk, dtype=np.int64) for chunk in chunks]
+                )
+            self._chunks[name] = []
+        return out

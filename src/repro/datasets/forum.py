@@ -39,7 +39,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.datasets._generation import fanout_counts, sliced_choice, zipf_choice
+from repro.datasets._generation import (
+    ColumnBlockWriter,
+    chunk_spans,
+    chunk_stream_label,
+    fanout_counts,
+    sliced_choice,
+    zipf_choice,
+)
 from repro.datasets.registry import register_dataset
 from repro.datasets.spec import DatasetSpec, WorkloadRecommendation
 from repro.db.schema import ColumnSchema, ForeignKey, Schema, TableSchema
@@ -63,6 +70,14 @@ class ForumConfig:
 
     Defaults produce roughly 150k rows across the chain; ``scale`` multiplies
     the user and thread populations (and transitively every deeper level).
+
+    ``chunk_rows`` switches the deep fan-out generators (posts, comments,
+    votes) to streaming chunked emission over spans of that many *parent*
+    rows, each chunk drawn from its own derived RNG stream.  ``None`` keeps
+    the historical whole-array draw order bit-identically.  ``users``,
+    ``forums`` and ``threads`` stay whole-array: they are dimension-sized,
+    and the users table needs a *globally* sorted join-year column (cohort
+    ordering) that per-chunk draws cannot produce.
     """
 
     num_users: int = 5_000
@@ -73,12 +88,15 @@ class ForumConfig:
     mean_votes_per_comment: float = 1.8
     seed: int = 42
     scale: float = 1.0
+    chunk_rows: int | None = None
 
     def __post_init__(self) -> None:
         if min(self.num_users, self.num_forums, self.num_threads) <= 0:
             raise ValueError("all population sizes must be positive")
         if self.scale <= 0:
             raise ValueError("scale must be positive")
+        if self.chunk_rows is not None and self.chunk_rows < 1:
+            raise ValueError("chunk_rows must be at least 1 when given")
 
     @property
     def effective_users(self) -> int:
@@ -242,129 +260,152 @@ def _generate_threads(config: ForumConfig, schema: Schema, forums: Table) -> Tab
 def _generate_posts(
     config: ForumConfig, schema: Schema, forums: Table, threads: Table, users: Table
 ) -> Table:
-    rng = spawn_rng(config.seed, "posts")
     thread_ids = threads.column("id")
     created_year = threads.column("created_year")
     is_pinned = threads.column("is_pinned")
     forum_topic = forums.column("topic_id")[threads.column("forum_id") - 1]
 
-    # Fan-out: pinned and recent threads accumulate more posts.
-    recency = 0.6 + 0.8 * (created_year - _MIN_YEAR) / (_MAX_YEAR - _MIN_YEAR)
-    pinned_factor = np.where(is_pinned == 1, 3.0, 1.0)
-    counts = fanout_counts(rng, config.mean_posts_per_thread * recency * pinned_factor)
-    thread_id = np.repeat(thread_ids, counts)
-    total = len(thread_id)
-
-    row_topic = np.repeat(forum_topic, counts)
-    row_year = np.repeat(created_year, counts)
-
-    # Join-crossing correlation (2 hops): the forum's topic sets the
-    # sentiment mix of its posts — contentious topics skew negative.
-    # Topic t's sentiment distribution peaks at 1 + (t mod 5), leaky 20%.
-    peak = 1 + (row_topic % _NUM_SENTIMENTS)
-    offsets = rng.choice(
-        np.arange(-4, 5), size=total, p=_triangular_weights(half_width=4)
+    writer = ColumnBlockWriter(
+        ("id", "thread_id", "author_id", "sentiment_id", "length_band")
     )
-    sentiment = np.clip(peak + offsets, 1, _NUM_SENTIMENTS)
-    leak = rng.random(total) < 0.2
-    sentiment = np.where(leak, rng.integers(1, _NUM_SENTIMENTS + 1, size=total), sentiment)
+    for index, start, stop in chunk_spans(threads.num_rows, config.chunk_rows):
+        rng = spawn_rng(config.seed, chunk_stream_label("posts", config.chunk_rows, index))
+        span_year = created_year[start:stop]
+        # Fan-out: pinned and recent threads accumulate more posts.
+        recency = 0.6 + 0.8 * (span_year - _MIN_YEAR) / (_MAX_YEAR - _MIN_YEAR)
+        pinned_factor = np.where(is_pinned[start:stop] == 1, 3.0, 1.0)
+        counts = fanout_counts(rng, config.mean_posts_per_thread * recency * pinned_factor)
+        thread_id = np.repeat(thread_ids[start:stop], counts)
+        total = len(thread_id)
+        if total == 0:
+            continue
 
-    # Join-crossing correlation (chain branch): authors come from cohorts
-    # that joined before (usually near) the thread's creation year.  User ids
-    # are cohort-ordered, so this is a leaky slice draw over the id space.
-    era = np.clip(
-        ((row_year - _MIN_YEAR) * _NUM_ERA_BUCKETS) // (_MAX_YEAR - _MIN_YEAR + 1),
-        0,
-        _NUM_ERA_BUCKETS - 1,
-    )
-    author_id = sliced_choice(
-        rng, users.num_rows, era, _NUM_ERA_BUCKETS, leak=0.15, exponent=1.1
-    )
+        row_topic = np.repeat(forum_topic[start:stop], counts)
+        row_year = np.repeat(span_year, counts)
 
-    # Within-table correlation: negative posts run long (rants).
-    base_length = np.clip(5 - sentiment + rng.integers(-1, 2, size=total), 1, 4)
-    noisy = rng.random(total) < 0.2
-    length_band = np.where(noisy, rng.integers(1, 5, size=total), base_length)
-    return Table(
-        schema.table("posts"),
-        {
-            "id": np.arange(1, total + 1, dtype=np.int64),
-            "thread_id": thread_id,
-            "author_id": author_id.astype(np.int64),
-            "sentiment_id": sentiment.astype(np.int64),
-            "length_band": length_band.astype(np.int64),
-        },
-    )
+        # Join-crossing correlation (2 hops): the forum's topic sets the
+        # sentiment mix of its posts — contentious topics skew negative.
+        # Topic t's sentiment distribution peaks at 1 + (t mod 5), leaky 20%.
+        peak = 1 + (row_topic % _NUM_SENTIMENTS)
+        offsets = rng.choice(
+            np.arange(-4, 5), size=total, p=_triangular_weights(half_width=4)
+        )
+        sentiment = np.clip(peak + offsets, 1, _NUM_SENTIMENTS)
+        leak = rng.random(total) < 0.2
+        sentiment = np.where(leak, rng.integers(1, _NUM_SENTIMENTS + 1, size=total), sentiment)
+
+        # Join-crossing correlation (chain branch): authors come from cohorts
+        # that joined before (usually near) the thread's creation year.  User ids
+        # are cohort-ordered, so this is a leaky slice draw over the id space.
+        era = np.clip(
+            ((row_year - _MIN_YEAR) * _NUM_ERA_BUCKETS) // (_MAX_YEAR - _MIN_YEAR + 1),
+            0,
+            _NUM_ERA_BUCKETS - 1,
+        )
+        author_id = sliced_choice(
+            rng, users.num_rows, era, _NUM_ERA_BUCKETS, leak=0.15, exponent=1.1
+        )
+
+        # Within-table correlation: negative posts run long (rants).
+        base_length = np.clip(5 - sentiment + rng.integers(-1, 2, size=total), 1, 4)
+        noisy = rng.random(total) < 0.2
+        length_band = np.where(noisy, rng.integers(1, 5, size=total), base_length)
+        offset = writer.num_rows
+        writer.append(
+            {
+                "id": np.arange(offset + 1, offset + total + 1, dtype=np.int64),
+                "thread_id": thread_id,
+                "author_id": author_id.astype(np.int64),
+                "sentiment_id": sentiment.astype(np.int64),
+                "length_band": length_band.astype(np.int64),
+            }
+        )
+    return Table(schema.table("posts"), writer.finalize())
 
 
 def _generate_comments(config: ForumConfig, schema: Schema, posts: Table) -> Table:
-    rng = spawn_rng(config.seed, "comments")
     post_ids = posts.column("id")
     sentiment = posts.column("sentiment_id")
-    # Controversy fan-out: strongly negative posts attract the most comments.
-    controversy = 1.0 + 0.8 * (3.0 - sentiment) / 2.0
-    counts = fanout_counts(rng, config.mean_comments_per_post * np.clip(controversy, 0.4, None))
-    post_id = np.repeat(post_ids, counts)
-    total = len(post_id)
+    writer = ColumnBlockWriter(("id", "post_id", "depth", "flag_id"))
+    for index, start, stop in chunk_spans(posts.num_rows, config.chunk_rows):
+        rng = spawn_rng(
+            config.seed, chunk_stream_label("comments", config.chunk_rows, index)
+        )
+        span_sentiment = sentiment[start:stop]
+        # Controversy fan-out: strongly negative posts attract the most comments.
+        controversy = 1.0 + 0.8 * (3.0 - span_sentiment) / 2.0
+        counts = fanout_counts(
+            rng, config.mean_comments_per_post * np.clip(controversy, 0.4, None)
+        )
+        post_id = np.repeat(post_ids[start:stop], counts)
+        total = len(post_id)
+        if total == 0:
+            continue
 
-    depth = np.clip(1 + rng.geometric(0.55, size=total), 1, 6)
-    # Join-crossing correlation (1 hop, feeds the 3-hop chain): comments on
-    # negative posts get flagged; ordinary posts stay at flag 1-2.
-    row_sentiment = np.repeat(sentiment, counts)
-    base_flag = np.clip(
-        _NUM_FLAGS + 1 - row_sentiment + rng.integers(-2, 1, size=total), 1, _NUM_FLAGS
-    )
-    leak = rng.random(total) < 0.15
-    flag_id = np.where(leak, rng.integers(1, _NUM_FLAGS + 1, size=total), base_flag)
-    return Table(
-        schema.table("comments"),
-        {
-            "id": np.arange(1, total + 1, dtype=np.int64),
-            "post_id": post_id,
-            "depth": depth.astype(np.int64),
-            "flag_id": flag_id.astype(np.int64),
-        },
-    )
+        depth = np.clip(1 + rng.geometric(0.55, size=total), 1, 6)
+        # Join-crossing correlation (1 hop, feeds the 3-hop chain): comments on
+        # negative posts get flagged; ordinary posts stay at flag 1-2.
+        row_sentiment = np.repeat(span_sentiment, counts)
+        base_flag = np.clip(
+            _NUM_FLAGS + 1 - row_sentiment + rng.integers(-2, 1, size=total), 1, _NUM_FLAGS
+        )
+        leak = rng.random(total) < 0.15
+        flag_id = np.where(leak, rng.integers(1, _NUM_FLAGS + 1, size=total), base_flag)
+        offset = writer.num_rows
+        writer.append(
+            {
+                "id": np.arange(offset + 1, offset + total + 1, dtype=np.int64),
+                "post_id": post_id,
+                "depth": depth.astype(np.int64),
+                "flag_id": flag_id.astype(np.int64),
+            }
+        )
+    return Table(schema.table("comments"), writer.finalize())
 
 
 def _generate_votes(
     config: ForumConfig, schema: Schema, posts: Table, comments: Table
 ) -> Table:
-    rng = spawn_rng(config.seed, "votes")
     comment_ids = comments.column("id")
     depth = comments.column("depth")
     flag_id = comments.column("flag_id")
-    # Shallow comments are seen (and voted on) more.
-    visibility = np.clip(1.6 - 0.2 * depth, 0.3, None)
-    counts = fanout_counts(rng, config.mean_votes_per_comment * visibility)
-    comment_id = np.repeat(comment_ids, counts)
-    total = len(comment_id)
+    writer = ColumnBlockWriter(("id", "comment_id", "vote_type_id", "weight_band"))
+    for index, start, stop in chunk_spans(comments.num_rows, config.chunk_rows):
+        rng = spawn_rng(config.seed, chunk_stream_label("votes", config.chunk_rows, index))
+        # Shallow comments are seen (and voted on) more.
+        visibility = np.clip(1.6 - 0.2 * depth[start:stop], 0.3, None)
+        counts = fanout_counts(rng, config.mean_votes_per_comment * visibility)
+        comment_id = np.repeat(comment_ids[start:stop], counts)
+        total = len(comment_id)
+        if total == 0:
+            continue
 
-    # Join-crossing correlation (3 hops from posts.sentiment_id via
-    # comments.flag_id): flagged comments draw down-votes and reports,
-    # ordinary comments draw up-votes.
-    row_flag = np.repeat(flag_id, counts)
-    source = rng.random(total)
-    vote_type = np.where(
-        row_flag >= 4,
-        np.where(source < 0.55, 2, np.where(source < 0.85, 4, 1)),
-        np.where(source < 0.65, 1, np.where(source < 0.85, 3, 2)),
-    )
-    leak = rng.random(total) < 0.1
-    vote_type = np.where(leak, rng.integers(1, _NUM_VOTE_TYPES + 1, size=total), vote_type)
-    # Within-table correlation: reports carry the most moderation weight.
-    base_weight = np.where(vote_type == 4, 3, np.where(vote_type == 2, 2, 1))
-    noisy = rng.random(total) < 0.1
-    weight_band = np.where(noisy, rng.integers(1, 4, size=total), base_weight)
-    return Table(
-        schema.table("votes"),
-        {
-            "id": np.arange(1, total + 1, dtype=np.int64),
-            "comment_id": comment_id,
-            "vote_type_id": vote_type.astype(np.int64),
-            "weight_band": weight_band.astype(np.int64),
-        },
-    )
+        # Join-crossing correlation (3 hops from posts.sentiment_id via
+        # comments.flag_id): flagged comments draw down-votes and reports,
+        # ordinary comments draw up-votes.
+        row_flag = np.repeat(flag_id[start:stop], counts)
+        source = rng.random(total)
+        vote_type = np.where(
+            row_flag >= 4,
+            np.where(source < 0.55, 2, np.where(source < 0.85, 4, 1)),
+            np.where(source < 0.65, 1, np.where(source < 0.85, 3, 2)),
+        )
+        leak = rng.random(total) < 0.1
+        vote_type = np.where(leak, rng.integers(1, _NUM_VOTE_TYPES + 1, size=total), vote_type)
+        # Within-table correlation: reports carry the most moderation weight.
+        base_weight = np.where(vote_type == 4, 3, np.where(vote_type == 2, 2, 1))
+        noisy = rng.random(total) < 0.1
+        weight_band = np.where(noisy, rng.integers(1, 4, size=total), base_weight)
+        offset = writer.num_rows
+        writer.append(
+            {
+                "id": np.arange(offset + 1, offset + total + 1, dtype=np.int64),
+                "comment_id": comment_id,
+                "vote_type_id": vote_type.astype(np.int64),
+                "weight_band": weight_band.astype(np.int64),
+            }
+        )
+    return Table(schema.table("votes"), writer.finalize())
 
 
 def _triangular_weights(half_width: int) -> np.ndarray:
@@ -373,12 +414,21 @@ def _triangular_weights(half_width: int) -> np.ndarray:
     return raw / raw.sum()
 
 
+#: Scales at or above this switch the spec generator to streaming chunked
+#: emission; below it the historical whole-array draw order keeps existing
+#: seeded snapshots bit-identical.
+_STREAMING_SCALE = 8.0
+_STREAMING_CHUNK_ROWS = 16_384
+
+
 def _generate_for_spec(scale: float, seed: int) -> Database:
-    return generate_forum(ForumConfig(scale=scale, seed=seed))
+    chunk_rows = _STREAMING_CHUNK_ROWS if scale >= _STREAMING_SCALE else None
+    return generate_forum(ForumConfig(scale=scale, seed=seed, chunk_rows=chunk_rows))
 
 
 #: The registered forum snowflake: a diameter-4 join chain whose planted
-#: correlations span up to three join hops.
+#: correlations span up to three join hops.  At the ``large`` tier the
+#: deepest level (``votes``) crosses one million rows.
 FORUM_SPEC = register_dataset(
     DatasetSpec(
         name="forum",
@@ -396,5 +446,6 @@ FORUM_SPEC = register_dataset(
             num_training_queries=3000,
             num_eval_queries=500,
         ),
+        scale_tiers=(("small", 0.25), ("medium", 1.0), ("large", 16.0)),
     )
 )

@@ -36,7 +36,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.datasets._generation import fanout_counts, sliced_choice, zipf_choice
+from repro.datasets._generation import (
+    ColumnBlockWriter,
+    chunk_spans,
+    chunk_stream_label,
+    fanout_counts,
+    sliced_choice,
+    zipf_choice,
+)
 from repro.datasets.registry import register_dataset
 from repro.datasets.spec import DatasetSpec, WorkloadRecommendation
 from repro.db.schema import ColumnSchema, ForeignKey, Schema, TableSchema
@@ -59,6 +66,14 @@ class RetailConfig:
 
     The defaults produce roughly 45k rows; ``scale`` multiplies the customer
     population and with it the fact table, leaving distributions untouched.
+
+    ``chunk_rows`` switches the customer and sales generators to streaming
+    chunked emission: each chunk of that many *customers* is drawn from its
+    own derived RNG stream and appended into growable column storage, so the
+    per-chunk intermediates (not the finished table) bound peak memory.
+    ``None`` keeps the historical whole-array draw order and is bit-identical
+    to pre-streaming output; chunked output is deterministic for a fixed
+    ``(scale, seed, chunk_rows)`` but is a *different* (equally valid) sample.
     """
 
     num_customers: int = 4_000
@@ -67,6 +82,7 @@ class RetailConfig:
     mean_sales_per_customer: float = 8.0
     seed: int = 42
     scale: float = 1.0
+    chunk_rows: int | None = None
 
     def __post_init__(self) -> None:
         if min(self.num_customers, self.num_products) <= 0:
@@ -77,6 +93,8 @@ class RetailConfig:
             raise ValueError(f"num_stores must be >= {_NUM_REGIONS} (one per region)")
         if self.scale <= 0:
             raise ValueError("scale must be positive")
+        if self.chunk_rows is not None and self.chunk_rows < 1:
+            raise ValueError("chunk_rows must be at least 1 when given")
 
     @property
     def effective_customers(self) -> int:
@@ -169,23 +187,28 @@ def generate_retail(config: RetailConfig | None = None) -> Database:
 
 
 def _generate_customers(config: RetailConfig, schema: Schema, num_customers: int) -> Table:
-    rng = spawn_rng(config.seed, "customers")
-    # Segments skew towards the mass market (segment 5 = budget, 1 = premium).
-    segment_id = _NUM_SEGMENTS + 1 - zipf_choice(rng, _NUM_SEGMENTS, num_customers, exponent=0.8)
-    region_id = zipf_choice(rng, _NUM_REGIONS, num_customers, exponent=0.9)
-    # Within-table correlation: premium segments skew older.
-    base_band = np.clip(7 - segment_id + rng.integers(-1, 2, size=num_customers), 1, 6)
-    noisy = rng.random(num_customers) < 0.2
-    age_band = np.where(noisy, rng.integers(1, 7, size=num_customers), base_band)
-    return Table(
-        schema.table("customers"),
-        {
-            "id": np.arange(1, num_customers + 1, dtype=np.int64),
-            "segment_id": segment_id.astype(np.int64),
-            "region_id": region_id,
-            "age_band": age_band.astype(np.int64),
-        },
-    )
+    writer = ColumnBlockWriter(("id", "segment_id", "region_id", "age_band"))
+    for index, start, stop in chunk_spans(num_customers, config.chunk_rows):
+        rng = spawn_rng(
+            config.seed, chunk_stream_label("customers", config.chunk_rows, index)
+        )
+        rows = stop - start
+        # Segments skew towards the mass market (segment 5 = budget, 1 = premium).
+        segment_id = _NUM_SEGMENTS + 1 - zipf_choice(rng, _NUM_SEGMENTS, rows, exponent=0.8)
+        region_id = zipf_choice(rng, _NUM_REGIONS, rows, exponent=0.9)
+        # Within-table correlation: premium segments skew older.
+        base_band = np.clip(7 - segment_id + rng.integers(-1, 2, size=rows), 1, 6)
+        noisy = rng.random(rows) < 0.2
+        age_band = np.where(noisy, rng.integers(1, 7, size=rows), base_band)
+        writer.append(
+            {
+                "id": np.arange(start + 1, stop + 1, dtype=np.int64),
+                "segment_id": segment_id.astype(np.int64),
+                "region_id": region_id,
+                "age_band": age_band.astype(np.int64),
+            }
+        )
+    return Table(schema.table("customers"), writer.finalize())
 
 
 def _generate_products(config: RetailConfig, schema: Schema) -> Table:
@@ -258,88 +281,132 @@ def _generate_sales(
     products: Table,
     stores: Table,
 ) -> Table:
-    rng = spawn_rng(config.seed, "sales")
     num_customers = customers.num_rows
     # Zipf-skewed per-customer purchase counts: whale customers dominate the
-    # fact table (the "wide fan-out" half of the star's difficulty).
+    # fact table (the "wide fan-out" half of the star's difficulty).  The
+    # normalized rank factors span the full population (O(customers) memory,
+    # never O(sales)) so chunked and whole-array emission share one fan-out
+    # profile.
     rank_factor = 1.0 / np.arange(1, num_customers + 1, dtype=np.float64) ** 0.8
     rank_factor *= num_customers / rank_factor.sum()
-    counts = fanout_counts(rng, config.mean_sales_per_customer * rank_factor)
-    customer_id = np.repeat(customers.column("id"), counts)
-    total = len(customer_id)
 
-    segment = customers.column("segment_id")[customer_id - 1]
-    region = customers.column("region_id")[customer_id - 1]
-    age_band = customers.column("age_band")[customer_id - 1]
-
-    # Join-crossing correlation #1: premium segments (low segment_id) buy
-    # high-price-band products.  Price bands partition the product id space,
-    # so this is a leaky slice draw keyed by the buyer's segment.
-    band_slice = np.clip(_NUM_PRICE_BANDS - segment, 0, _NUM_PRICE_BANDS - 1)
-    product_id = sliced_choice(
-        rng, config.num_products, band_slice, _NUM_PRICE_BANDS, leak=0.12, exponent=1.05
-    )
-
-    # Join-crossing correlation #2: customers shop in stores of their region.
+    # Region -> store-id pools are deterministic; hoisted out of the chunk loop.
     store_regions = stores.column("region_id")
     store_ids_by_region = [
         np.flatnonzero(store_regions == region_index) + 1
         for region_index in range(1, _NUM_REGIONS + 1)
     ]
-    store_id = zipf_choice(rng, stores.num_rows, total, exponent=1.0)
-    local = rng.random(total) < 0.9
-    for region_index in range(1, _NUM_REGIONS + 1):
-        mask = local & (region == region_index)
-        size = int(mask.sum())
-        if size:
-            pool = store_ids_by_region[region_index - 1]
-            within = zipf_choice(rng, len(pool), size, exponent=1.0)
-            store_id[mask] = pool[within - 1]
 
-    # Join-crossing correlation #3: categories are seasonal — each category
-    # peaks in one month; 70% of a product's sales land in its peak window.
-    category = products.column("category_id")[product_id - 1]
-    peak_month = 1 + (category * 5) % _NUM_MONTHS
-    date_id = rng.integers(1, config.num_days + 1, size=total)
-    seasonal = rng.random(total) < 0.7
-    if seasonal.any():
-        month_start = (peak_month[seasonal] - 1) * _DAYS_PER_MONTH
-        date_id[seasonal] = month_start + rng.integers(
-            1, _DAYS_PER_MONTH + 1, size=int(seasonal.sum())
+    all_customer_ids = customers.column("id")
+    all_segments = customers.column("segment_id")
+    all_regions = customers.column("region_id")
+    all_age_bands = customers.column("age_band")
+    product_category = products.column("category_id")
+    product_price_band = products.column("price_band")
+
+    # Chunks span *customers*; with a mean fan-out of ``mean_sales_per_customer``
+    # a chunk emits roughly that many times ``chunk_rows`` sales, so per-chunk
+    # intermediates stay proportional to the chunk, not the fact table.
+    writer = ColumnBlockWriter(
+        (
+            "id",
+            "customer_id",
+            "product_id",
+            "store_id",
+            "date_id",
+            "channel_id",
+            "quantity_band",
+        )
+    )
+    for index, start, stop in chunk_spans(num_customers, config.chunk_rows):
+        rng = spawn_rng(config.seed, chunk_stream_label("sales", config.chunk_rows, index))
+        counts = fanout_counts(
+            rng, config.mean_sales_per_customer * rank_factor[start:stop]
+        )
+        customer_id = np.repeat(all_customer_ids[start:stop], counts)
+        total = len(customer_id)
+        if total == 0:
+            continue
+
+        segment = all_segments[customer_id - 1]
+        region = all_regions[customer_id - 1]
+        age_band = all_age_bands[customer_id - 1]
+
+        # Join-crossing correlation #1: premium segments (low segment_id) buy
+        # high-price-band products.  Price bands partition the product id
+        # space, so this is a leaky slice draw keyed by the buyer's segment.
+        band_slice = np.clip(_NUM_PRICE_BANDS - segment, 0, _NUM_PRICE_BANDS - 1)
+        product_id = sliced_choice(
+            rng, config.num_products, band_slice, _NUM_PRICE_BANDS, leak=0.12, exponent=1.05
         )
 
-    # Within-fact correlations: young buyers use the online channel; cheap
-    # products sell in bulk.
-    channel_noise = rng.random(total)
-    channel_id = np.where(
-        age_band <= 2,
-        np.where(channel_noise < 0.75, 1, 2),
-        np.where(channel_noise < 0.55, 3, np.where(channel_noise < 0.8, 2, 1)),
-    )
-    price_band = products.column("price_band")[product_id - 1]
-    quantity_band = np.clip(
-        5 - price_band + rng.integers(-1, 2, size=total), 1, 4
-    )
-    return Table(
-        schema.table("sales"),
-        {
-            "id": np.arange(1, total + 1, dtype=np.int64),
-            "customer_id": customer_id.astype(np.int64),
-            "product_id": product_id.astype(np.int64),
-            "store_id": store_id.astype(np.int64),
-            "date_id": date_id.astype(np.int64),
-            "channel_id": channel_id.astype(np.int64),
-            "quantity_band": quantity_band.astype(np.int64),
-        },
-    )
+        # Join-crossing correlation #2: customers shop in stores of their region.
+        store_id = zipf_choice(rng, stores.num_rows, total, exponent=1.0)
+        local = rng.random(total) < 0.9
+        for region_index in range(1, _NUM_REGIONS + 1):
+            mask = local & (region == region_index)
+            size = int(mask.sum())
+            if size:
+                pool = store_ids_by_region[region_index - 1]
+                within = zipf_choice(rng, len(pool), size, exponent=1.0)
+                store_id[mask] = pool[within - 1]
+
+        # Join-crossing correlation #3: categories are seasonal — each category
+        # peaks in one month; 70% of a product's sales land in its peak window.
+        category = product_category[product_id - 1]
+        peak_month = 1 + (category * 5) % _NUM_MONTHS
+        date_id = rng.integers(1, config.num_days + 1, size=total)
+        seasonal = rng.random(total) < 0.7
+        if seasonal.any():
+            month_start = (peak_month[seasonal] - 1) * _DAYS_PER_MONTH
+            date_id[seasonal] = month_start + rng.integers(
+                1, _DAYS_PER_MONTH + 1, size=int(seasonal.sum())
+            )
+
+        # Within-fact correlations: young buyers use the online channel; cheap
+        # products sell in bulk.
+        channel_noise = rng.random(total)
+        channel_id = np.where(
+            age_band <= 2,
+            np.where(channel_noise < 0.75, 1, 2),
+            np.where(channel_noise < 0.55, 3, np.where(channel_noise < 0.8, 2, 1)),
+        )
+        price_band = product_price_band[product_id - 1]
+        quantity_band = np.clip(
+            5 - price_band + rng.integers(-1, 2, size=total), 1, 4
+        )
+        offset = writer.num_rows
+        writer.append(
+            {
+                "id": np.arange(offset + 1, offset + total + 1, dtype=np.int64),
+                "customer_id": customer_id.astype(np.int64),
+                "product_id": product_id.astype(np.int64),
+                "store_id": store_id.astype(np.int64),
+                "date_id": date_id.astype(np.int64),
+                "channel_id": channel_id.astype(np.int64),
+                "quantity_band": quantity_band.astype(np.int64),
+            }
+        )
+    return Table(schema.table("sales"), writer.finalize())
+
+
+#: Scales at or above this switch the spec generator to streaming chunked
+#: emission (bounded per-chunk intermediates); below it the historical
+#: whole-array draw order is kept so existing seeded snapshots stay
+#: bit-identical.
+_STREAMING_SCALE = 8.0
+_STREAMING_CHUNK_ROWS = 16_384
 
 
 def _generate_for_spec(scale: float, seed: int) -> Database:
-    return generate_retail(RetailConfig(scale=scale, seed=seed))
+    chunk_rows = _STREAMING_CHUNK_ROWS if scale >= _STREAMING_SCALE else None
+    return generate_retail(RetailConfig(scale=scale, seed=seed, chunk_rows=chunk_rows))
 
 
 #: The registered retail star: fact-hub topology, Zipf fan-outs, seasonal and
 #: segment-driven dimension-to-dimension correlations through ``sales``.
+#: The ``large`` tier crosses the million-fact-row line: 34 x 4000 customers
+#: at a mean fan-out of 8 emit ~1.09M ``sales`` rows via streaming chunks.
 RETAIL_SPEC = register_dataset(
     DatasetSpec(
         name="retail",
@@ -357,5 +424,6 @@ RETAIL_SPEC = register_dataset(
             num_training_queries=3000,
             num_eval_queries=500,
         ),
+        scale_tiers=(("small", 0.25), ("medium", 1.0), ("large", 34.0)),
     )
 )

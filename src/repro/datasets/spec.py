@@ -32,7 +32,23 @@ from repro.db.schema import Schema
 from repro.db.table import Database
 from repro.workload.generator import WorkloadConfig
 
-__all__ = ["WorkloadRecommendation", "JoinGraphSummary", "DatasetSpec"]
+__all__ = [
+    "WorkloadRecommendation",
+    "JoinGraphSummary",
+    "DatasetSpec",
+    "DEFAULT_SCALE_TIERS",
+]
+
+#: Named scale tiers shared by all datasets unless a spec overrides them.
+#: ``small`` is the CI-friendly default of the scenario matrix, ``medium``
+#: the generator's design size, and ``large`` the out-of-core tier — specs
+#: that advertise a million-row fact table override ``large`` with whatever
+#: multiplier reaches it for their schema.
+DEFAULT_SCALE_TIERS: tuple[tuple[str, float], ...] = (
+    ("small", 0.25),
+    ("medium", 1.0),
+    ("large", 8.0),
+)
 
 
 @dataclass(frozen=True)
@@ -98,6 +114,10 @@ class DatasetSpec:
         Seed used when :meth:`generate` is called without one.
     workload:
         Recommended workload bounds/sizes (see :class:`WorkloadRecommendation`).
+    scale_tiers:
+        Named ``(tier, scale)`` pairs accepted wherever a scale is expected
+        (``generate("large")``); specs size their ``large`` tier to cross the
+        million-fact-row line for their own schema.
     """
 
     name: str
@@ -107,10 +127,22 @@ class DatasetSpec:
     generator: Callable[[float, int], Database]
     default_seed: int = 42
     workload: WorkloadRecommendation = field(default_factory=WorkloadRecommendation)
+    scale_tiers: tuple[tuple[str, float], ...] = DEFAULT_SCALE_TIERS
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("a dataset spec needs a non-empty name")
+        if not self.scale_tiers:
+            raise ValueError("a dataset spec needs at least one scale tier")
+        seen: set[str] = set()
+        for tier, value in self.scale_tiers:
+            if not tier:
+                raise ValueError("scale tier names must be non-empty")
+            if tier in seen:
+                raise ValueError(f"duplicate scale tier {tier!r}")
+            seen.add(tier)
+            if value <= 0:
+                raise ValueError(f"scale tier {tier!r} must map to a positive scale")
 
     # -- schema and metadata (cached: specs are immutable) ----------------
     @property
@@ -129,10 +161,32 @@ class DatasetSpec:
         return cached
 
     # -- generation -------------------------------------------------------
-    def generate(self, scale: float = 1.0, seed: int | None = None) -> Database:
-        """Generate a correlated database snapshot for this dataset."""
-        if scale <= 0:
+    def tier_names(self) -> tuple[str, ...]:
+        """The named scale tiers this spec accepts (``generate("large")``)."""
+        return tuple(tier for tier, _ in self.scale_tiers)
+
+    def resolve_scale(self, scale: float | str) -> float:
+        """Map a tier name or numeric scale to the numeric scale factor."""
+        if isinstance(scale, str):
+            for tier, value in self.scale_tiers:
+                if tier == scale:
+                    return value
+            raise ValueError(
+                f"dataset {self.name!r} has no scale tier {scale!r} "
+                f"(known tiers: {', '.join(self.tier_names())})"
+            )
+        value = float(scale)
+        if value <= 0:
             raise ValueError("scale must be positive")
+        return value
+
+    def generate(self, scale: float | str = 1.0, seed: int | None = None) -> Database:
+        """Generate a correlated database snapshot for this dataset.
+
+        ``scale`` is either a numeric multiplier or one of the spec's named
+        tiers (see :meth:`resolve_scale`).
+        """
+        scale = self.resolve_scale(scale)
         database = self.generator(scale, self.default_seed if seed is None else seed)
         if database.schema.table_names != self.schema.table_names:
             raise RuntimeError(

@@ -11,8 +11,14 @@ PostgreSQL-style baseline).
 
 from repro.db.executor import CardinalityExecutor, execute_cardinality
 from repro.db.index import HashIndex, IndexSet
-from repro.db.predicates import Operator, evaluate_conjunction, evaluate_predicate
+from repro.db.predicates import (
+    Operator,
+    evaluate_conjunction,
+    evaluate_conjunction_values,
+    evaluate_predicate,
+)
 from repro.db.query import JoinCondition, Predicate, Query
+from repro.db.sampled import SampledCardinality, SampledCardinalityExecutor
 from repro.db.sampling import MaterializedSamples, TableSample
 from repro.db.schema import ColumnSchema, ForeignKey, Schema, TableSchema
 from repro.db.sql import (
@@ -23,7 +29,7 @@ from repro.db.sql import (
     save_workload,
 )
 from repro.db.statistics import ColumnStatistics, DatabaseStatistics, TableStatistics
-from repro.db.table import Database, Table
+from repro.db.table import ColumnBlock, Database, Table
 
 __all__ = [
     "ColumnSchema",
@@ -31,6 +37,7 @@ __all__ = [
     "ForeignKey",
     "Schema",
     "Table",
+    "ColumnBlock",
     "Database",
     "Operator",
     "Predicate",
@@ -38,8 +45,11 @@ __all__ = [
     "Query",
     "evaluate_predicate",
     "evaluate_conjunction",
+    "evaluate_conjunction_values",
     "CardinalityExecutor",
     "execute_cardinality",
+    "SampledCardinality",
+    "SampledCardinalityExecutor",
     "MaterializedSamples",
     "TableSample",
     "HashIndex",

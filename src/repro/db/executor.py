@@ -12,6 +12,14 @@ weight is the product over child tables of the summed weights of matching
 child rows, and the result cardinality is the sum of root weights.  This runs
 in time linear in the table sizes rather than in the size of the join result.
 
+The executor is block-chunked: with ``block_rows`` set, predicate scans walk
+:meth:`~repro.db.table.Table.iter_blocks` views and the weight propagation
+streams its group-by through :class:`_StreamingKeyWeights`, so per-operator
+intermediates are bounded by the block size instead of the table size.  Both
+paths produce bit-identical counts — all weights are integer-valued floats,
+so block-order summation is exact below 2**53 — and ``block_rows=None``
+degrades to the single-block (whole-array) evaluation.
+
 Cyclic join graphs (not produced by the generators, but accepted by the API)
 fall back to iterative hash-join expansion.  A brute-force nested-loop
 reference implementation is included for correctness testing on tiny inputs.
@@ -25,7 +33,7 @@ from collections import OrderedDict, defaultdict
 
 import numpy as np
 
-from repro.db.predicates import selection_mask
+from repro.db.predicates import evaluate_conjunction_values, selection_mask
 from repro.db.query import Query
 from repro.db.table import Database
 
@@ -40,6 +48,37 @@ def _sum_weights_by_key(keys: np.ndarray, weights: np.ndarray) -> tuple[np.ndarr
     unique_keys, inverse = np.unique(keys, return_inverse=True)
     totals = np.bincount(inverse, weights=weights, minlength=len(unique_keys))
     return unique_keys, totals
+
+
+class _StreamingKeyWeights:
+    """Streaming accumulator for :func:`_sum_weights_by_key`.
+
+    Feed ``(keys, weights)`` blocks via :meth:`add`; :meth:`result` returns
+    the same ``(sorted unique keys, per-key totals)`` the one-shot group-by
+    produces over the concatenation of all blocks.  Because the weights are
+    integer-valued (counts and products of counts) represented in float64,
+    per-block partial sums merge exactly as long as every total stays below
+    2**53 — which is what makes block-chunked counting bit-identical to the
+    whole-array path.
+    """
+
+    def __init__(self) -> None:
+        self._keys = np.empty(0, dtype=np.int64)
+        self._totals = np.empty(0, dtype=np.float64)
+
+    def add(self, keys: np.ndarray, weights: np.ndarray) -> None:
+        if len(keys) == 0:
+            return
+        unique_keys, totals = _sum_weights_by_key(keys, weights)
+        if self._keys.size == 0:
+            self._keys, self._totals = unique_keys, totals
+            return
+        merged_keys = np.concatenate([self._keys, unique_keys])
+        merged_totals = np.concatenate([self._totals, totals])
+        self._keys, self._totals = _sum_weights_by_key(merged_keys, merged_totals)
+
+    def result(self) -> tuple[np.ndarray, np.ndarray]:
+        return self._keys, self._totals
 
 
 def _lookup_totals(unique_keys: np.ndarray, totals: np.ndarray, probe_keys: np.ndarray) -> np.ndarray:
@@ -58,6 +97,13 @@ def _lookup_totals(unique_keys: np.ndarray, totals: np.ndarray, probe_keys: np.n
 class CardinalityExecutor:
     """Computes exact COUNT(*) results for queries against a database.
 
+    ``block_rows`` selects block-chunked evaluation: predicate scans and the
+    Yannakakis weight propagation then process contiguous row blocks of that
+    size, bounding per-operator intermediates independently of table size
+    (the out-of-core execution mode of the ``scale="large"`` tier).  Counts
+    are bit-identical to the default whole-array evaluation
+    (``block_rows=None``) at every block size.
+
     ``cache_capacity`` enables signature-keyed LRU memoization of results:
     plan enumeration and repeated scenario runs execute the same connected
     sub-plans over and over (the executor is the by-far dominant cost of
@@ -66,10 +112,18 @@ class CardinalityExecutor:
     cache is thread-safe; ``cache_hits``/``cache_misses`` count lookups.
     """
 
-    def __init__(self, database: Database, cache_capacity: int | None = None):
+    def __init__(
+        self,
+        database: Database,
+        cache_capacity: int | None = None,
+        block_rows: int | None = None,
+    ):
         self.database = database
         if cache_capacity is not None and cache_capacity <= 0:
             raise ValueError("cache_capacity must be positive (or None to disable)")
+        if block_rows is not None and block_rows < 1:
+            raise ValueError("block_rows must be a positive integer (or None)")
+        self.block_rows = block_rows
         self._cache_capacity = cache_capacity
         self._cache: OrderedDict[tuple, int] | None = (
             OrderedDict() if cache_capacity is not None else None
@@ -125,8 +179,28 @@ class CardinalityExecutor:
         predicates = query.predicates_on(table_name)
         if not predicates:
             return np.arange(table.num_rows, dtype=np.int64)
-        mask = selection_mask(table, predicates)
-        return np.flatnonzero(mask).astype(np.int64)
+        if self.block_rows is None:
+            mask = selection_mask(table, predicates)
+            return np.flatnonzero(mask).astype(np.int64)
+        # Block-chunked scan: qualifying indices are collected per block, so
+        # the boolean intermediates never exceed ``block_rows`` entries.
+        triples = [(p.column, p.operator, p.value) for p in predicates]
+        needed = tuple(dict.fromkeys(p.column for p in predicates))
+        parts: list[np.ndarray] = []
+        for block in table.iter_blocks(columns=needed, block_rows=self.block_rows):
+            mask = evaluate_conjunction_values(block.columns, triples)
+            indices = np.flatnonzero(mask)
+            if indices.size:
+                parts.append((indices + block.start).astype(np.int64))
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+    def _index_spans(self, total: int):
+        """``[start, stop)`` spans walking ``total`` positions block-wise."""
+        step = total if self.block_rows is None else self.block_rows
+        for start in range(0, total, max(step, 1)):
+            yield start, min(start + step, total)
 
     def _connected_components(self, query: Query):
         """Split the query into connected components of its join graph."""
@@ -193,22 +267,35 @@ class CardinalityExecutor:
                     parent_join[child] = join
                     order.append(child)
 
-        # Bottom-up weight propagation.
+        # Bottom-up weight propagation, streamed block-by-block: the child
+        # group-by accumulates per-block partials and the parent factors are
+        # looked up and applied per block, so the per-step intermediates (key
+        # gathers, factor arrays) are bounded by the block size.  With
+        # ``block_rows=None`` every loop below runs exactly once over the
+        # whole arrays, reproducing the original single-shot evaluation.
         weights = {
             table: np.ones(len(qualifying_rows[table]), dtype=np.float64) for table in tables
         }
         for table in reversed(order[1:]):
             join = parent_join[table]
             parent = join.other_table(table)
-            child_keys = self.database.table(table).column_values(
-                join.column_of(table), qualifying_rows[table]
-            )
-            unique_keys, totals = _sum_weights_by_key(child_keys, weights[table])
-            parent_keys = self.database.table(parent).column_values(
-                join.column_of(parent), qualifying_rows[parent]
-            )
-            parent_factor = _lookup_totals(unique_keys, totals, parent_keys)
-            weights[parent] = weights[parent] * parent_factor
+            child_rows = qualifying_rows[table]
+            child_column = self.database.table(table).column(join.column_of(table))
+            child_weights = weights[table]
+            accumulator = _StreamingKeyWeights()
+            for start, stop in self._index_spans(len(child_rows)):
+                accumulator.add(
+                    child_column[child_rows[start:stop]], child_weights[start:stop]
+                )
+            unique_keys, totals = accumulator.result()
+            parent_rows = qualifying_rows[parent]
+            parent_column = self.database.table(parent).column(join.column_of(parent))
+            parent_weights = weights[parent]
+            for start, stop in self._index_spans(len(parent_rows)):
+                parent_factor = _lookup_totals(
+                    unique_keys, totals, parent_column[parent_rows[start:stop]]
+                )
+                parent_weights[start:stop] = parent_weights[start:stop] * parent_factor
         return int(round(weights[root].sum()))
 
     def _count_by_expansion(self, tables, joins, qualifying_rows) -> int:
@@ -275,9 +362,11 @@ class CardinalityExecutor:
         ]
 
 
-def execute_cardinality(database: Database, query: Query) -> int:
+def execute_cardinality(
+    database: Database, query: Query, block_rows: int | None = None
+) -> int:
     """Convenience wrapper around :class:`CardinalityExecutor`."""
-    return CardinalityExecutor(database).execute(query)
+    return CardinalityExecutor(database, block_rows=block_rows).execute(query)
 
 
 def nested_loop_cardinality(database: Database, query: Query) -> int:

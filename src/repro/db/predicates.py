@@ -9,13 +9,19 @@ subset (the latter is what sampling-based estimators need).
 from __future__ import annotations
 
 import enum
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.db.table import Table
 
-__all__ = ["Operator", "evaluate_predicate", "evaluate_conjunction", "selection_mask"]
+__all__ = [
+    "Operator",
+    "evaluate_predicate",
+    "evaluate_conjunction",
+    "evaluate_conjunction_values",
+    "selection_mask",
+]
 
 
 class Operator(str, enum.Enum):
@@ -78,11 +84,53 @@ def evaluate_conjunction(
     return mask
 
 
-def selection_mask(table: Table, predicates: Sequence) -> np.ndarray:
+def evaluate_conjunction_values(
+    columns: Mapping[str, np.ndarray],
+    predicates: Iterable[tuple[str, Operator, int]],
+) -> np.ndarray:
+    """Boolean mask of a conjunction over already-materialized column arrays.
+
+    This is the block-wise twin of :func:`evaluate_conjunction`: the caller
+    supplies the (sliced) column values — typically the views of one
+    :class:`~repro.db.table.ColumnBlock` — and the mask refers to those
+    positions.  All supplied arrays must share one length.
+    """
+    predicates = list(predicates)
+    if not predicates:
+        if not columns:
+            raise ValueError("evaluate_conjunction_values needs predicates or columns")
+        length = len(next(iter(columns.values())))
+        return np.ones(length, dtype=bool)
+    mask: np.ndarray | None = None
+    for column, operator, value in predicates:
+        try:
+            values = columns[column]
+        except KeyError:
+            raise KeyError(f"no values supplied for predicate column {column!r}") from None
+        comparison = _compare(values, operator, int(value))
+        mask = comparison if mask is None else mask & comparison
+        if not mask.any():
+            break
+    assert mask is not None
+    return mask
+
+
+def selection_mask(
+    table: Table, predicates: Sequence, block_rows: int | None = None
+) -> np.ndarray:
     """Full-table qualification mask for a sequence of :class:`Predicate`-likes.
 
     Accepts any objects exposing ``column``, ``operator`` and ``value``
-    attributes (e.g. :class:`repro.db.query.Predicate`).
+    attributes (e.g. :class:`repro.db.query.Predicate`).  With ``block_rows``
+    the mask is computed block-by-block over contiguous column views, so the
+    per-operator intermediates (the comparison results) stay bounded by the
+    block size; the result is bit-identical to the whole-array evaluation.
     """
     triples = [(p.column, p.operator, p.value) for p in predicates]
-    return evaluate_conjunction(table, triples)
+    if block_rows is None or not triples:
+        return evaluate_conjunction(table, triples)
+    mask = np.zeros(table.num_rows, dtype=bool)
+    needed = tuple(dict.fromkeys(column for column, _, _ in triples))
+    for block in table.iter_blocks(columns=needed, block_rows=block_rows):
+        mask[block.start : block.stop] = evaluate_conjunction_values(block.columns, triples)
+    return mask

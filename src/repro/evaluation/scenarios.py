@@ -54,6 +54,7 @@ __all__ = [
     "build_scenarios",
     "run_scenarios",
     "mscn_factory",
+    "format_bytes",
     "format_scenario_matrix",
 ]
 
@@ -68,10 +69,17 @@ class ScenarioConfig:
     per-dataset workload sizes intentionally override the specs' recommended
     sizes: a cross-scenario run wants comparable, budget-bounded matrices,
     not each dataset's full-size workload.
+
+    ``dataset_scale`` accepts a numeric multiplier or a named tier
+    (``"small"`` / ``"medium"`` / ``"large"``) resolved per spec.  The
+    ``truth_*`` knobs and ``block_rows`` select the ground-truth oracle of
+    every workload (see :class:`~repro.workload.generator.WorkloadConfig`):
+    at the ``large`` tier, queries over budget-exceeding table sets are
+    labelled from bounded samples instead of full execution.
     """
 
     datasets: tuple[str, ...] = ()
-    dataset_scale: float = 0.25
+    dataset_scale: float | str = 0.25
     dataset_seed: int = 42
     num_training_queries: int = 1000
     num_eval_queries: int = 200
@@ -89,9 +97,14 @@ class ScenarioConfig:
     include_plan_quality: bool = True
     plan_quality_max_queries: int = 40
     plan_quality_min_joins: int = 2
+    truth_mode: str = "auto"
+    truth_row_budget: int = 5_000_000
+    truth_sample_rows: int = 100_000
+    truth_confidence: float = 0.95
+    block_rows: int | None = None
 
     def __post_init__(self) -> None:
-        if self.dataset_scale <= 0:
+        if not isinstance(self.dataset_scale, str) and self.dataset_scale <= 0:
             raise ValueError("dataset_scale must be positive")
         if self.num_training_queries <= 0 or self.num_eval_queries <= 0:
             raise ValueError("workload sizes must be positive")
@@ -104,6 +117,16 @@ class ScenarioConfig:
         if not self.datasets:
             return registered_datasets()
         return tuple(get_dataset(name) for name in self.datasets)
+
+    def truth_overrides(self) -> dict:
+        """The :class:`WorkloadConfig` overrides selecting the truth oracle."""
+        return dict(
+            truth_mode=self.truth_mode,
+            truth_row_budget=self.truth_row_budget,
+            truth_sample_rows=self.truth_sample_rows,
+            truth_confidence=self.truth_confidence,
+            block_rows=self.block_rows,
+        )
 
 
 @dataclass
@@ -135,8 +158,14 @@ class Scenario:
                 self.database,
                 self.config.num_training_queries,
                 seed=self.config.training_seed,
+                **self.config.truth_overrides(),
             )
         return self._training_workload
+
+    @property
+    def database_bytes(self) -> int:
+        """Bytes of column storage held by the scenario's snapshot."""
+        return self.database.memory_bytes()
 
     @property
     def true_estimator(self) -> TrueCardinalityEstimator:
@@ -166,6 +195,9 @@ class ScenarioResult:
     summary: QErrorSummary
     result: EvaluationResult
     plan_quality: PlanQualitySummary | None = None
+    #: Column-storage footprint of the scenario's database snapshot; lets the
+    #: matrix report how much data each cell's estimates were computed over.
+    database_bytes: int = 0
 
     @property
     def num_queries(self) -> int:
@@ -181,7 +213,11 @@ def build_scenario(spec: DatasetSpec, config: ScenarioConfig | None = None) -> S
     )
     workloads = {
         "synthetic": generate_evaluation_workload(
-            spec, database, config.num_eval_queries, seed=config.evaluation_seed
+            spec,
+            database,
+            config.num_eval_queries,
+            seed=config.evaluation_seed,
+            **config.truth_overrides(),
         )
     }
     if config.include_scale_workload:
@@ -190,6 +226,7 @@ def build_scenario(spec: DatasetSpec, config: ScenarioConfig | None = None) -> S
             database,
             queries_per_join_count=config.scale_queries_per_join_count,
             seed=config.evaluation_seed + 1,
+            **config.truth_overrides(),
         )
     return Scenario(
         spec=spec,
@@ -240,6 +277,7 @@ def run_scenarios(
                         summary=evaluation.summary(),
                         result=evaluation,
                         plan_quality=_plan_quality_summary(scenario, estimator, workload),
+                        database_bytes=scenario.database_bytes,
                     )
                 )
     return results
@@ -284,6 +322,18 @@ def mscn_factory(config: MSCNConfig | None = None) -> EstimatorFactory:
     return build
 
 
+def format_bytes(num_bytes: int) -> str:
+    """Human-readable byte count (``0`` renders as an em-dash)."""
+    if num_bytes <= 0:
+        return "—"
+    value = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if value < 1024.0 or unit == "TiB":
+            return f"{value:.0f}{unit}" if unit == "B" else f"{value:.1f}{unit}"
+        value /= 1024.0
+    return f"{value:.1f}TiB"  # pragma: no cover - loop always returns
+
+
 def format_scenario_matrix(results: list[ScenarioResult], title: str = "") -> str:
     """Render scenario results as per-scenario q-error (and plan-cost) tables.
 
@@ -305,10 +355,13 @@ def format_scenario_matrix(results: list[ScenarioResult], title: str = "") -> st
         return f"{value:.2f}"
 
     with_plans = any(entry.plan_quality is not None for entry in results)
+    with_memory = any(entry.database_bytes > 0 for entry in results)
     header = (
         f"{'dataset':<10} {'workload':<10} {'estimator':<26} {'queries':>7} "
         f"{'median':>8} {'90th':>8} {'95th':>8} {'99th':>8} {'max':>10} {'mean':>8}"
     )
+    if with_memory:
+        header += f" {'db·mem':>9}"
     if with_plans:
         header += f" {'plan·med':>9} {'plan·max':>9} {'opt%':>6}"
     lines = []
@@ -323,6 +376,8 @@ def format_scenario_matrix(results: list[ScenarioResult], title: str = "") -> st
             f"{entry.num_queries:>7} {_value(median):>8} {_value(p90):>8} "
             f"{_value(p95):>8} {_value(p99):>8} {_value(maximum):>10} {_value(mean):>8}"
         )
+        if with_memory:
+            line += f" {format_bytes(entry.database_bytes):>9}"
         if with_plans:
             quality = entry.plan_quality
             if quality is None:

@@ -33,6 +33,7 @@ from repro.utils.rng import spawn_rng
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle, type hints only
     from repro.datasets.spec import DatasetSpec
+    from repro.db.sampled import SampledCardinalityExecutor
 
 __all__ = ["WorkloadConfig", "LabelledQuery", "QueryGenerator"]
 
@@ -41,10 +42,19 @@ _OPERATORS = (Operator.EQ, Operator.LT, Operator.GT)
 
 @dataclass(frozen=True)
 class LabelledQuery:
-    """A query annotated with its true result cardinality."""
+    """A query annotated with its (exact or sampled) result cardinality.
+
+    ``truth_mode`` records how the label was obtained: ``"exact"`` labels are
+    true counts; ``"sampled"`` labels are multiplicity-corrected estimates
+    whose confidence interval is in ``bounds``.  Both extra fields default to
+    the exact convention, so pre-existing call sites and the two-element
+    unpacking protocol are unchanged.
+    """
 
     query: Query
     cardinality: int
+    truth_mode: str = "exact"
+    bounds: tuple[float, float] | None = None
 
     def __iter__(self) -> Iterator:
         # Allows ``query, cardinality = labelled`` unpacking and keeps the
@@ -56,9 +66,21 @@ class LabelledQuery:
         return self.query.num_joins
 
 
+_TRUTH_MODES = ("auto", "exact", "sampled")
+
+
 @dataclass(frozen=True)
 class WorkloadConfig:
-    """Configuration of the random query generator."""
+    """Configuration of the random query generator.
+
+    The ``truth_*`` knobs select the ground-truth oracle: ``"exact"`` always
+    executes queries in full, ``"sampled"`` always labels from bounded
+    per-table samples (:class:`~repro.db.sampled.SampledCardinalityExecutor`),
+    and ``"auto"`` — the default — samples only queries whose referenced
+    tables sum to more than ``truth_row_budget`` rows, so small snapshots keep
+    exact labels with zero behaviour change.  ``block_rows`` streams both
+    oracles' scans block-by-block (bit-identical counts, bounded peak memory).
+    """
 
     num_queries: int = 1000
     min_joins: int = 0
@@ -68,12 +90,27 @@ class WorkloadConfig:
     seed: int = 0
     max_attempts_factor: int = 50
     predicate_tables: tuple[str, ...] = field(default_factory=tuple)
+    truth_mode: str = "auto"
+    truth_row_budget: int = 5_000_000
+    truth_sample_rows: int = 100_000
+    truth_confidence: float = 0.95
+    block_rows: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_queries <= 0:
             raise ValueError("num_queries must be positive")
         if not 0 <= self.min_joins <= self.max_joins:
             raise ValueError("join bounds must satisfy 0 <= min_joins <= max_joins")
+        if self.truth_mode not in _TRUTH_MODES:
+            raise ValueError(f"truth_mode must be one of {_TRUTH_MODES}")
+        if self.truth_row_budget <= 0:
+            raise ValueError("truth_row_budget must be positive")
+        if self.truth_sample_rows <= 0:
+            raise ValueError("truth_sample_rows must be positive")
+        if not 0.0 < self.truth_confidence < 1.0:
+            raise ValueError("truth_confidence must lie strictly between 0 and 1")
+        if self.block_rows is not None and self.block_rows < 1:
+            raise ValueError("block_rows must be at least 1 when given")
 
 
 class QueryGenerator:
@@ -83,7 +120,8 @@ class QueryGenerator:
         self.database = database
         self.config = config if config is not None else WorkloadConfig()
         self.schema = database.schema
-        self._executor = CardinalityExecutor(database)
+        self._executor = CardinalityExecutor(database, block_rows=self.config.block_rows)
+        self._sampled_executor: "SampledCardinalityExecutor | None" = None
         self._rng = spawn_rng(self.config.seed, "query-generator")
         self._join_graph_tables = self.schema.tables_in_join_graph() or self.schema.table_names
         self._component_sizes = self.schema.join_component_sizes() or {
@@ -118,16 +156,57 @@ class QueryGenerator:
             if signature in seen:
                 continue
             seen.add(signature)
-            cardinality = self._executor.execute(query)
-            if self.config.skip_empty_results and cardinality == 0:
+            entry = self._label(query)
+            if self.config.skip_empty_results and entry.cardinality == 0:
                 continue
-            labelled.append(LabelledQuery(query=query, cardinality=cardinality))
+            labelled.append(entry)
         if len(labelled) < target:
             raise RuntimeError(
                 f"could only generate {len(labelled)} of {target} unique non-empty queries "
                 f"after {attempts} attempts; use a larger database or fewer queries"
             )
         return labelled
+
+    # -- ground-truth oracle routing -----------------------------------
+    def _should_sample(self, query: Query) -> bool:
+        mode = self.config.truth_mode
+        if mode == "exact":
+            return False
+        if mode == "sampled":
+            return True
+        referenced_rows = sum(
+            self.database.table(table).num_rows for table in query.tables
+        )
+        return referenced_rows > self.config.truth_row_budget
+
+    def _sampled(self) -> "SampledCardinalityExecutor":
+        """The sampled-truth oracle, built lazily on first sampled query."""
+        if self._sampled_executor is None:
+            from repro.db.sampled import SampledCardinalityExecutor
+
+            self._sampled_executor = SampledCardinalityExecutor(
+                self.database,
+                sample_rows=self.config.truth_sample_rows,
+                seed=self.config.seed,
+                confidence=self.config.truth_confidence,
+                block_rows=self.config.block_rows,
+            )
+        return self._sampled_executor
+
+    def _label(self, query: Query) -> LabelledQuery:
+        if self._should_sample(query):
+            result = self._sampled().execute(query)
+            if result.exact:
+                # Every referenced table fit the sample budget whole, so the
+                # sampled oracle's count is already the true cardinality.
+                return LabelledQuery(query=query, cardinality=result.label)
+            return LabelledQuery(
+                query=query,
+                cardinality=result.label,
+                truth_mode="sampled",
+                bounds=(result.lower, result.upper),
+            )
+        return LabelledQuery(query=query, cardinality=self._executor.execute(query))
 
     # ------------------------------------------------------------------
     def _draw_query(self) -> Query:

@@ -44,13 +44,15 @@ class ScaleWorkloadConfig:
 
 
 def generate_scale_workload(
-    database: Database, config: ScaleWorkloadConfig | None = None
+    database: Database, config: ScaleWorkloadConfig | None = None, **overrides
 ) -> list[LabelledQuery]:
     """Generate the scale workload: equal-sized strata of 0..max_joins queries.
 
     A join tree with ``k`` joins needs ``k + 1`` tables inside one connected
     component of the join graph, so the largest component bounds the
-    satisfiable strata; requesting more raises ``ValueError``.
+    satisfiable strata; requesting more raises ``ValueError``.  Extra keyword
+    arguments (e.g. the ``truth_*`` oracle knobs or ``block_rows``) are
+    forwarded into each stratum's :class:`WorkloadConfig`.
     """
     config = config if config is not None else ScaleWorkloadConfig()
     max_possible_joins = database.schema.max_joins_per_query()
@@ -66,6 +68,7 @@ def generate_scale_workload(
             min_joins=num_joins,
             max_joins=num_joins,
             seed=config.seed + num_joins,
+            **overrides,
         )
         generator = QueryGenerator(database, stratum_config)
         workload.extend(generator.generate())
@@ -77,16 +80,18 @@ def generate_scale_workload_for_spec(
     database: Database,
     queries_per_join_count: int = 100,
     seed: int = 103,
+    **overrides,
 ) -> list[LabelledQuery]:
     """The scale workload with the stratum ceiling a dataset spec recommends.
 
     The spec's ``scale_max_joins`` is clamped to what the schema's join graph
     can actually connect, so a recommendation written for the full-size
-    schema stays valid on shrunken variants.
+    schema stays valid on shrunken variants.  Extra keyword arguments are
+    forwarded into each stratum's :class:`WorkloadConfig`.
     """
     config = ScaleWorkloadConfig(
         queries_per_join_count=queries_per_join_count,
         max_joins=min(spec.workload.scale_max_joins, spec.join_graph().max_joins_per_query),
         seed=seed,
     )
-    return generate_scale_workload(database, config)
+    return generate_scale_workload(database, config, **overrides)

@@ -1,0 +1,211 @@
+"""Tests of streaming chunked dataset generation and named scale tiers.
+
+Chunked emission draws each chunk from its own derived RNG stream, so it is a
+*different* (equally valid) deterministic sample than the whole-array path —
+these tests therefore pin determinism, referential integrity and row
+accounting rather than equality with the unchunked output, plus the
+chunk-span/stream-label/block-writer primitives the generators share.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.datasets import get_dataset
+from repro.datasets._generation import ColumnBlockWriter, chunk_spans, chunk_stream_label
+from repro.datasets.forum import ForumConfig, generate_forum
+from repro.datasets.imdb import SyntheticIMDbConfig, generate_imdb
+from repro.datasets.retail import RetailConfig, generate_retail
+from repro.datasets.spec import DEFAULT_SCALE_TIERS, DatasetSpec
+
+
+class TestChunkSpans:
+    def test_partitions_range(self):
+        spans = list(chunk_spans(10, 3))
+        assert spans == [(0, 0, 3), (1, 3, 6), (2, 6, 9), (3, 9, 10)]
+
+    def test_none_yields_single_span(self):
+        assert list(chunk_spans(7, None)) == [(0, 0, 7)]
+
+    def test_zero_total_yields_nothing(self):
+        assert list(chunk_spans(0, 3)) == []
+        assert list(chunk_spans(0, None)) == []
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            list(chunk_spans(-1, 3))
+        with pytest.raises(ValueError):
+            list(chunk_spans(5, 0))
+
+    def test_stream_labels(self):
+        assert chunk_stream_label("sales", None, 0) == "sales"
+        assert chunk_stream_label("sales", 100, 0) == "sales[0]"
+        assert chunk_stream_label("sales", 100, 7) == "sales[7]"
+
+
+class TestColumnBlockWriter:
+    def test_concatenates_appended_blocks(self):
+        writer = ColumnBlockWriter(("a", "b"))
+        writer.append({"a": np.array([1, 2]), "b": np.array([10, 20])})
+        writer.append({"a": np.array([3]), "b": np.array([30])})
+        assert writer.num_rows == 3
+        columns = writer.finalize()
+        np.testing.assert_array_equal(columns["a"], [1, 2, 3])
+        np.testing.assert_array_equal(columns["b"], [10, 20, 30])
+        assert columns["a"].dtype == np.int64
+
+    def test_empty_writer_finalizes_to_empty_columns(self):
+        writer = ColumnBlockWriter(("a",))
+        columns = writer.finalize()
+        assert columns["a"].size == 0
+
+    def test_skips_zero_row_blocks(self):
+        writer = ColumnBlockWriter(("a",))
+        writer.append({"a": np.array([], dtype=np.int64)})
+        assert writer.num_rows == 0
+
+    def test_rejects_column_mismatch(self):
+        writer = ColumnBlockWriter(("a", "b"))
+        with pytest.raises(ValueError):
+            writer.append({"a": np.array([1])})
+
+    def test_rejects_ragged_block(self):
+        writer = ColumnBlockWriter(("a", "b"))
+        with pytest.raises(ValueError):
+            writer.append({"a": np.array([1, 2]), "b": np.array([1])})
+
+    def test_rejects_double_finalize(self):
+        writer = ColumnBlockWriter(("a",))
+        writer.finalize()
+        with pytest.raises(RuntimeError):
+            writer.finalize()
+
+
+def _assert_foreign_keys_resolve(database):
+    for fk in database.schema.foreign_keys:
+        child = database.table(fk.table).column(fk.column)
+        parent = database.table(fk.ref_table).column(fk.ref_column)
+        assert np.isin(child, parent).all(), f"{fk.table}.{fk.column} has dangling references"
+
+
+def _assert_same_database(left, right):
+    assert left.table_names == right.table_names
+    for name in left.table_names:
+        a, b = left.table(name), right.table(name)
+        assert a.num_rows == b.num_rows
+        for column in a.schema.column_names:
+            np.testing.assert_array_equal(a.column(column), b.column(column))
+
+
+CHUNKED_CONFIGS = (
+    RetailConfig(num_customers=600, num_products=200, num_stores=40, seed=9, chunk_rows=128),
+    ForumConfig(num_users=500, num_forums=10, num_threads=400, seed=9, chunk_rows=64),
+    SyntheticIMDbConfig(
+        num_titles=800, num_companies=120, num_persons=900, num_keywords=200,
+        seed=9, chunk_rows=128,
+    ),
+)
+GENERATORS = {
+    RetailConfig: generate_retail,
+    ForumConfig: generate_forum,
+    SyntheticIMDbConfig: generate_imdb,
+}
+
+
+class TestChunkedGeneration:
+    @pytest.mark.parametrize("config", CHUNKED_CONFIGS, ids=lambda c: type(c).__name__)
+    def test_deterministic_and_referentially_sound(self, config):
+        generate = GENERATORS[type(config)]
+        first = generate(config)
+        second = generate(config)
+        _assert_same_database(first, second)
+        _assert_foreign_keys_resolve(first)
+
+    @pytest.mark.parametrize("config", CHUNKED_CONFIGS, ids=lambda c: type(c).__name__)
+    def test_primary_keys_contiguous(self, config):
+        database = GENERATORS[type(config)](config)
+        for name in database.table_names:
+            table = database.table(name)
+            ids = table.column("id")
+            assert ids.size == table.num_rows
+            np.testing.assert_array_equal(np.diff(ids), 1)
+
+    def test_chunked_row_counts_match_population_sizes(self):
+        config = CHUNKED_CONFIGS[0]
+        database = generate_retail(config)
+        assert database.table("customers").num_rows == config.effective_customers
+        assert database.table("products").num_rows == config.num_products
+        assert database.table("sales").num_rows > 0
+
+    def test_invalid_chunk_rows_rejected(self):
+        for config_cls in (RetailConfig, ForumConfig, SyntheticIMDbConfig):
+            with pytest.raises(ValueError):
+                config_cls(chunk_rows=0)
+
+
+class TestScaleTiers:
+    def test_default_tiers(self):
+        assert DEFAULT_SCALE_TIERS == (("small", 0.25), ("medium", 1.0), ("large", 8.0))
+
+    @pytest.mark.parametrize("name", ("imdb", "retail", "forum"))
+    def test_registered_specs_expose_tiers(self, name):
+        spec = get_dataset(name)
+        assert spec.tier_names() == ("small", "medium", "large")
+        assert spec.resolve_scale("small") == 0.25
+        assert spec.resolve_scale("medium") == 1.0
+        assert spec.resolve_scale("large") >= 8.0
+
+    @pytest.mark.parametrize("name", ("imdb", "retail", "forum"))
+    def test_large_tier_reaches_a_million_fact_rows(self, name):
+        """The large tier's scale factor implies >= 1M fact rows.
+
+        Checked arithmetically from the spec's populations and mean fan-outs
+        instead of generating the dataset (which the large-scale smoke
+        benchmark does for retail).
+        """
+        spec = get_dataset(name)
+        scale = spec.resolve_scale("large")
+        if name == "retail":
+            config = RetailConfig(scale=scale)
+            expected = config.effective_customers * config.mean_sales_per_customer
+        elif name == "imdb":
+            config = SyntheticIMDbConfig(scale=scale)
+            expected = config.effective_titles * config.mean_cast_per_title
+        else:
+            config = ForumConfig(scale=scale)
+            expected = (
+                config.effective_threads
+                * config.mean_posts_per_thread
+                * config.mean_comments_per_post
+                * config.mean_votes_per_comment
+            )
+        assert expected >= 1_000_000
+
+    def test_numeric_scale_passthrough(self):
+        spec = get_dataset("retail")
+        assert spec.resolve_scale(0.5) == 0.5
+        with pytest.raises(ValueError):
+            spec.resolve_scale(0.0)
+
+    def test_unknown_tier_lists_alternatives(self):
+        spec = get_dataset("retail")
+        with pytest.raises(ValueError, match="small"):
+            spec.resolve_scale("giant")
+
+    def test_generate_accepts_tier_name(self):
+        spec = get_dataset("retail")
+        by_name = spec.generate(scale="small", seed=3)
+        by_value = spec.generate(scale=0.25, seed=3)
+        _assert_same_database(by_name, by_value)
+
+    def test_spec_validates_tiers(self):
+        spec = get_dataset("retail")
+        with pytest.raises(ValueError):
+            dataclasses.replace(spec, scale_tiers=())
+        with pytest.raises(ValueError):
+            dataclasses.replace(spec, scale_tiers=(("a", 1.0), ("a", 2.0)))
+        with pytest.raises(ValueError):
+            dataclasses.replace(spec, scale_tiers=(("a", -1.0),))

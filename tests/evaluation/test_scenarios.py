@@ -12,6 +12,7 @@ from repro.evaluation.scenarios import (
     ScenarioConfig,
     build_scenario,
     build_scenarios,
+    format_bytes,
     format_scenario_matrix,
     mscn_factory,
     run_scenarios,
@@ -213,6 +214,52 @@ class TestPlanQualityDimension:
         )
         results = run_scenarios({"oracle": lambda s: _CountingOracle()}, config)
         assert all(entry.plan_quality is None for entry in results)
+
+
+class TestScaleTiersAndMemoryReporting:
+    def test_config_accepts_tier_names(self):
+        config = ScenarioConfig(datasets=("retail",), dataset_scale="small")
+        (spec,) = config.selected_specs()
+        assert spec.resolve_scale(config.dataset_scale) == 0.25
+
+    def test_config_rejects_non_positive_numeric_scale(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(dataset_scale=-1.0)
+
+    def test_truth_overrides_round_trip(self):
+        config = ScenarioConfig(
+            truth_mode="sampled",
+            truth_row_budget=123,
+            truth_sample_rows=456,
+            truth_confidence=0.9,
+            block_rows=64,
+        )
+        assert config.truth_overrides() == {
+            "truth_mode": "sampled",
+            "truth_row_budget": 123,
+            "truth_sample_rows": 456,
+            "truth_confidence": 0.9,
+            "block_rows": 64,
+        }
+
+    def test_scenario_reports_database_bytes(self):
+        scenario = build_scenarios(TINY)[0]
+        assert scenario.database_bytes == scenario.database.memory_bytes() > 0
+
+    def test_matrix_shows_memory_column(self):
+        scenarios = build_scenarios(TINY)
+        results = run_scenarios({"oracle": lambda s: _CountingOracle()}, scenarios=scenarios)
+        assert all(entry.database_bytes > 0 for entry in results)
+        text = format_scenario_matrix(results)
+        assert "db·mem" in text
+        assert "KiB" in text or "MiB" in text
+
+    def test_format_bytes(self):
+        assert format_bytes(0) == "—"
+        assert format_bytes(512) == "512B"
+        assert format_bytes(2048) == "2.0KiB"
+        assert format_bytes(3 * 1024**2) == "3.0MiB"
+        assert format_bytes(int(1.5 * 1024**3)) == "1.5GiB"
 
 
 class TestSequenceRouting:
