@@ -30,6 +30,12 @@ the reliability layer is exercised on every push.
 
 from __future__ import annotations
 
+# Pin BLAS threading before numpy loads anywhere: smoke timings must
+# measure the repository's own threading tiers, not the BLAS pool's.
+from repro.utils.bench import pin_blas_threads
+
+pin_blas_threads()
+
 import sys
 import threading
 import time

@@ -32,13 +32,9 @@ import sys
 # Pin BLAS to one thread before numpy is imported anywhere: the pool's worker
 # threads are the parallelism under test, and a multi-threaded BLAS would
 # both inflate the single-engine baseline and contend with the replicas.
-for _variable in (
-    "OPENBLAS_NUM_THREADS",
-    "OMP_NUM_THREADS",
-    "MKL_NUM_THREADS",
-    "NUMEXPR_NUM_THREADS",
-):
-    os.environ.setdefault(_variable, "1")
+from repro.utils.bench import pin_blas_threads
+
+pin_blas_threads()
 
 import time
 from pathlib import Path

@@ -21,6 +21,12 @@ benchmarks/smoke_plan_quality.py``) from CI next to the other smokes.
 
 from __future__ import annotations
 
+# Pin BLAS threading before numpy loads anywhere: smoke timings must
+# measure the repository's own threading tiers, not the BLAS pool's.
+from repro.utils.bench import pin_blas_threads
+
+pin_blas_threads()
+
 import sys
 import time
 from pathlib import Path

@@ -14,6 +14,12 @@ service smokes.
 
 from __future__ import annotations
 
+# Pin BLAS threading before numpy loads anywhere: smoke timings must
+# measure the repository's own threading tiers, not the BLAS pool's.
+from repro.utils.bench import pin_blas_threads
+
+pin_blas_threads()
+
 import sys
 import time
 from pathlib import Path

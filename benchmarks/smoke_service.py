@@ -21,6 +21,12 @@ from CI so the serving front-end is exercised on every push.
 
 from __future__ import annotations
 
+# Pin BLAS threading before numpy loads anywhere: smoke timings must
+# measure the repository's own threading tiers, not the BLAS pool's.
+from repro.utils.bench import pin_blas_threads
+
+pin_blas_threads()
+
 import sys
 import time
 from pathlib import Path

@@ -39,25 +39,82 @@ contribution:
     hot-swap.
 """
 
-from repro.core.estimator import MSCNEstimator
-from repro.core.config import MSCNConfig, FeaturizationVariant
-from repro.db.query import Query, JoinCondition, Predicate
-from repro.db.schema import Schema, TableSchema, ColumnSchema, ForeignKey
-from repro.db.table import Database, Table
-from repro.datasets.imdb import SyntheticIMDbConfig, generate_imdb
-from repro.datasets.registry import dataset_names, get_dataset, register_dataset
-from repro.datasets.spec import DatasetSpec, WorkloadRecommendation
-from repro.evaluation.metrics import QErrorSummary, q_error, summarize_q_errors
-from repro.optimizer import (
-    JoinTree,
-    Plan,
-    enumerate_optimal_plan,
-    evaluate_plan_quality,
-)
-from repro.serving import EstimationService, ModelRegistry, ServiceConfig
-from repro.workload.generator import QueryGenerator, WorkloadConfig
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers only
+    from repro.core.estimator import MSCNEstimator
+    from repro.core.config import MSCNConfig, FeaturizationVariant
+    from repro.db.query import Query, JoinCondition, Predicate
+    from repro.db.schema import Schema, TableSchema, ColumnSchema, ForeignKey
+    from repro.db.table import Database, Table
+    from repro.datasets.imdb import SyntheticIMDbConfig, generate_imdb
+    from repro.datasets.registry import dataset_names, get_dataset, register_dataset
+    from repro.datasets.spec import DatasetSpec, WorkloadRecommendation
+    from repro.evaluation.metrics import QErrorSummary, q_error, summarize_q_errors
+    from repro.optimizer import (
+        JoinTree,
+        Plan,
+        enumerate_optimal_plan,
+        evaluate_plan_quality,
+    )
+    from repro.serving import EstimationService, ModelRegistry, ServiceConfig
+    from repro.workload.generator import QueryGenerator, WorkloadConfig
 
 __version__ = "1.0.0"
+
+# The public surface is imported lazily (PEP 562): benchmark entry points must
+# be able to import numpy-free utilities (``repro.utils.bench.pin_blas_threads``)
+# through the package *before* numpy is loaded, so the package import itself
+# cannot eagerly pull in the numpy-backed subsystems.
+_EXPORTS = {
+    "MSCNEstimator": "repro.core.estimator",
+    "MSCNConfig": "repro.core.config",
+    "FeaturizationVariant": "repro.core.config",
+    "Query": "repro.db.query",
+    "JoinCondition": "repro.db.query",
+    "Predicate": "repro.db.query",
+    "Schema": "repro.db.schema",
+    "TableSchema": "repro.db.schema",
+    "ColumnSchema": "repro.db.schema",
+    "ForeignKey": "repro.db.schema",
+    "Database": "repro.db.table",
+    "Table": "repro.db.table",
+    "SyntheticIMDbConfig": "repro.datasets.imdb",
+    "generate_imdb": "repro.datasets.imdb",
+    "dataset_names": "repro.datasets.registry",
+    "get_dataset": "repro.datasets.registry",
+    "register_dataset": "repro.datasets.registry",
+    "DatasetSpec": "repro.datasets.spec",
+    "WorkloadRecommendation": "repro.datasets.spec",
+    "QErrorSummary": "repro.evaluation.metrics",
+    "q_error": "repro.evaluation.metrics",
+    "summarize_q_errors": "repro.evaluation.metrics",
+    "JoinTree": "repro.optimizer",
+    "Plan": "repro.optimizer",
+    "enumerate_optimal_plan": "repro.optimizer",
+    "evaluate_plan_quality": "repro.optimizer",
+    "EstimationService": "repro.serving",
+    "ModelRegistry": "repro.serving",
+    "ServiceConfig": "repro.serving",
+    "QueryGenerator": "repro.workload.generator",
+    "WorkloadConfig": "repro.workload.generator",
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache so subsequent lookups skip __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))
 
 __all__ = [
     "MSCNEstimator",

@@ -250,6 +250,11 @@ class MSCNEstimator:
         regardless of how estimates were batched.  (Featurization dominates
         this path's latency; the whole-batch fused pass remains the serving
         default via :meth:`estimate_many`/:meth:`estimate_featurized`.)
+
+        The per-sub-plan chunks route through the trainer's
+        :class:`~repro.core.pool.EnginePool`, so on a pooled trainer the
+        fan-out runs replica-parallel; tiny fan-outs (fewer chunks than
+        replicas) fall back to the inline single-engine path automatically.
         """
         trainer = self._require_trained()
         subqueries = query.connected_subqueries()

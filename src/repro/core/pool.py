@@ -158,7 +158,9 @@ class EnginePool:
         snapshot = self._snapshot  # captured once: the whole batch's generation
         starts = range(0, size, chunk_size)
         num_chunks = len(starts)
-        if self.num_replicas == 1 or num_chunks == 1:
+        # Tiny batches (fewer chunks than replicas) cannot keep the pool busy:
+        # dispatch overhead dominates, so run them inline on the primary.
+        if self.num_replicas == 1 or num_chunks < self.num_replicas:
             engine = self._engines[0]
             outputs = [
                 engine.run(dataset.slice(start, min(start + chunk_size, size)), snapshot=snapshot)

@@ -20,6 +20,20 @@ paths produce bit-identical counts — all weights are integer-valued floats,
 so block-order summation is exact below 2**53 — and ``block_rows=None``
 degrades to the single-block (whole-array) evaluation.
 
+With ``max_workers`` set, the block walk itself is **parallel**: contiguous
+runs of blocks are assigned deterministically to threads of a shared
+:class:`~repro.utils.parallel.WorkerPool`, per-worker scan results are merged
+in block order and per-worker :class:`_StreamingKeyWeights` partials are
+folded into one group-by.  Because all merged quantities are either
+position-ordered index arrays or exact integer-valued sums, parallel counts
+stay bit-identical to serial at every worker count and block size.
+
+``scan_cache_capacity`` additionally memoizes per-(table, predicate-set)
+qualifying-row results: the DPsize optimizer's sub-plan fan-out executes
+every connected sub-plan of a query, and all of them filter the same base
+tables with the same predicate conjunctions — the memo lets one base scan
+serve the whole enumeration instead of being re-executed per sub-plan.
+
 Cyclic join graphs (not produced by the generators, but accepted by the API)
 fall back to iterative hash-join expansion.  A brute-force nested-loop
 reference implementation is included for correctness testing on tiny inputs.
@@ -36,6 +50,7 @@ import numpy as np
 from repro.db.predicates import evaluate_conjunction_values, selection_mask
 from repro.db.query import Query
 from repro.db.table import Database
+from repro.utils.parallel import WorkerPool
 
 __all__ = ["CardinalityExecutor", "execute_cardinality", "nested_loop_cardinality"]
 
@@ -110,6 +125,20 @@ class CardinalityExecutor:
     plan-quality evaluation), and a query's :meth:`~repro.db.query.Query.signature`
     is a sound memo key because the database snapshot is immutable.  The
     cache is thread-safe; ``cache_hits``/``cache_misses`` count lookups.
+
+    ``scan_cache_capacity`` enables a second, finer-grained LRU over
+    per-(table, predicate-set) qualifying-row arrays.  Connected sub-plans of
+    one query all scan the same base tables under the same predicate
+    conjunctions, so during plan enumeration each base scan is executed once
+    and shared across the whole sub-plan fan-out (and across sub-plans of
+    *other* queries that filter a table identically).  Cached arrays are
+    treated as read-only by every counting path.  ``scan_reuse_hits`` /
+    ``scan_reuse_misses`` count lookups; the cache is thread-safe.
+
+    ``max_workers`` (``None`` = serial, ``"auto"`` = CPU count, or a positive
+    integer) runs block-chunked scans and the Yannakakis weight propagation
+    across a worker pool — requires ``block_rows``, since the blocks are the
+    unit of work distribution.  Results are bit-identical to serial.
     """
 
     def __init__(
@@ -117,13 +146,18 @@ class CardinalityExecutor:
         database: Database,
         cache_capacity: int | None = None,
         block_rows: int | None = None,
+        max_workers: "int | str | None" = None,
+        scan_cache_capacity: int | None = None,
     ):
         self.database = database
         if cache_capacity is not None and cache_capacity <= 0:
             raise ValueError("cache_capacity must be positive (or None to disable)")
+        if scan_cache_capacity is not None and scan_cache_capacity <= 0:
+            raise ValueError("scan_cache_capacity must be positive (or None to disable)")
         if block_rows is not None and block_rows < 1:
             raise ValueError("block_rows must be a positive integer (or None)")
         self.block_rows = block_rows
+        self._pool = WorkerPool(max_workers, name="executor-scan")
         self._cache_capacity = cache_capacity
         self._cache: OrderedDict[tuple, int] | None = (
             OrderedDict() if cache_capacity is not None else None
@@ -131,6 +165,18 @@ class CardinalityExecutor:
         self._cache_lock = threading.Lock()
         self.cache_hits = 0
         self.cache_misses = 0
+        self._scan_cache_capacity = scan_cache_capacity
+        self._scan_cache: OrderedDict[tuple, np.ndarray] | None = (
+            OrderedDict() if scan_cache_capacity is not None else None
+        )
+        self._scan_lock = threading.Lock()
+        self.scan_reuse_hits = 0
+        self.scan_reuse_misses = 0
+
+    @property
+    def max_workers(self) -> int:
+        """Resolved worker budget of the scan pool (1 = serial)."""
+        return self._pool.max_workers
 
     # ------------------------------------------------------------------
     def execute(self, query: Query) -> int:
@@ -175,8 +221,36 @@ class CardinalityExecutor:
 
     # ------------------------------------------------------------------
     def _qualifying_rows(self, query: Query, table_name: str) -> np.ndarray:
-        table = self.database.table(table_name)
+        """Qualifying row indices of one base table, via the scan memo.
+
+        The memo key is the table plus its predicate conjunction in a
+        canonical order — exactly the quantity every connected sub-plan that
+        touches the table shares, whatever other tables it joins.
+        """
         predicates = query.predicates_on(table_name)
+        if self._scan_cache is None:
+            return self._scan_qualifying_rows(table_name, predicates)
+        key = (
+            table_name,
+            tuple(sorted((p.column, p.operator.value, p.value) for p in predicates)),
+        )
+        with self._scan_lock:
+            cached = self._scan_cache.get(key)
+            if cached is not None:
+                self._scan_cache.move_to_end(key)
+                self.scan_reuse_hits += 1
+                return cached
+            self.scan_reuse_misses += 1
+        rows = self._scan_qualifying_rows(table_name, predicates)
+        with self._scan_lock:
+            self._scan_cache[key] = rows
+            self._scan_cache.move_to_end(key)
+            while len(self._scan_cache) > self._scan_cache_capacity:
+                self._scan_cache.popitem(last=False)
+        return rows
+
+    def _scan_qualifying_rows(self, table_name: str, predicates) -> np.ndarray:
+        table = self.database.table(table_name)
         if not predicates:
             return np.arange(table.num_rows, dtype=np.int64)
         if self.block_rows is None:
@@ -184,14 +258,26 @@ class CardinalityExecutor:
             return np.flatnonzero(mask).astype(np.int64)
         # Block-chunked scan: qualifying indices are collected per block, so
         # the boolean intermediates never exceed ``block_rows`` entries.
+        # Contiguous runs of blocks are deterministically assigned to pool
+        # workers; concatenating the per-worker parts in block order makes
+        # the result identical to the serial walk.
         triples = [(p.column, p.operator, p.value) for p in predicates]
         needed = tuple(dict.fromkeys(p.column for p in predicates))
-        parts: list[np.ndarray] = []
-        for block in table.iter_blocks(columns=needed, block_rows=self.block_rows):
-            mask = evaluate_conjunction_values(block.columns, triples)
-            indices = np.flatnonzero(mask)
-            if indices.size:
-                parts.append((indices + block.start).astype(np.int64))
+        arrays = {name: table.column(name) for name in needed}
+        spans = list(self._index_spans(table.num_rows))
+
+        def scan_blocks(lo: int, hi: int) -> list[np.ndarray]:
+            parts: list[np.ndarray] = []
+            for start, stop in spans[lo:hi]:
+                values = {name: array[start:stop] for name, array in arrays.items()}
+                indices = np.flatnonzero(evaluate_conjunction_values(values, triples))
+                if indices.size:
+                    parts.append((indices + start).astype(np.int64))
+            return parts
+
+        parts = [
+            part for chunk in self._pool.run_spans(len(spans), scan_blocks) for part in chunk
+        ]
         if not parts:
             return np.empty(0, dtype=np.int64)
         return np.concatenate(parts)
@@ -273,6 +359,13 @@ class CardinalityExecutor:
         # gathers, factor arrays) are bounded by the block size.  With
         # ``block_rows=None`` every loop below runs exactly once over the
         # whole arrays, reproducing the original single-shot evaluation.
+        #
+        # Both phases distribute contiguous runs of blocks across the worker
+        # pool.  The group-by merges per-worker ``_StreamingKeyWeights``
+        # partials — exact integer-valued sums, so the fold is independent of
+        # block grouping — and the parent phase writes each block's factors
+        # into the block's own disjoint weight slice, so parallel results are
+        # bit-identical to the serial walk.
         weights = {
             table: np.ones(len(qualifying_rows[table]), dtype=np.float64) for table in tables
         }
@@ -282,20 +375,33 @@ class CardinalityExecutor:
             child_rows = qualifying_rows[table]
             child_column = self.database.table(table).column(join.column_of(table))
             child_weights = weights[table]
+            child_spans = list(self._index_spans(len(child_rows)))
+
+            def fold_blocks(lo: int, hi: int) -> tuple[np.ndarray, np.ndarray]:
+                partial = _StreamingKeyWeights()
+                for start, stop in child_spans[lo:hi]:
+                    partial.add(
+                        child_column[child_rows[start:stop]], child_weights[start:stop]
+                    )
+                return partial.result()
+
             accumulator = _StreamingKeyWeights()
-            for start, stop in self._index_spans(len(child_rows)):
-                accumulator.add(
-                    child_column[child_rows[start:stop]], child_weights[start:stop]
-                )
+            for keys, totals in self._pool.run_spans(len(child_spans), fold_blocks):
+                accumulator.add(keys, totals)
             unique_keys, totals = accumulator.result()
             parent_rows = qualifying_rows[parent]
             parent_column = self.database.table(parent).column(join.column_of(parent))
             parent_weights = weights[parent]
-            for start, stop in self._index_spans(len(parent_rows)):
-                parent_factor = _lookup_totals(
-                    unique_keys, totals, parent_column[parent_rows[start:stop]]
-                )
-                parent_weights[start:stop] = parent_weights[start:stop] * parent_factor
+            parent_spans = list(self._index_spans(len(parent_rows)))
+
+            def apply_factors(lo: int, hi: int) -> None:
+                for start, stop in parent_spans[lo:hi]:
+                    parent_factor = _lookup_totals(
+                        unique_keys, totals, parent_column[parent_rows[start:stop]]
+                    )
+                    parent_weights[start:stop] = parent_weights[start:stop] * parent_factor
+
+            self._pool.run_spans(len(parent_spans), apply_factors)
         return int(round(weights[root].sum()))
 
     def _count_by_expansion(self, tables, joins, qualifying_rows) -> int:

@@ -126,6 +126,13 @@ class SampledCardinalityExecutor:
     cache_capacity:
         Signature-keyed LRU memoization of sampled results, mirroring
         :class:`~repro.db.executor.CardinalityExecutor`.
+    max_workers:
+        Worker budget of the underlying exact executor's block-parallel
+        scans (``None`` = serial, ``"auto"`` = CPU count); sampled counts
+        stay bit-identical to serial at every worker count.
+    scan_cache_capacity:
+        Per-(table, predicate-set) qualifying-row memo of the underlying
+        executor (scan reuse across sub-plan fan-outs).
     """
 
     def __init__(
@@ -136,6 +143,8 @@ class SampledCardinalityExecutor:
         confidence: float = 0.95,
         block_rows: int | None = None,
         cache_capacity: int | None = None,
+        max_workers: "int | str | None" = None,
+        scan_cache_capacity: int | None = None,
     ):
         if sample_rows <= 0:
             raise ValueError("sample_rows must be positive")
@@ -168,7 +177,11 @@ class SampledCardinalityExecutor:
             )
         self._sampled_database = Database(database.schema, sampled_tables)
         self._executor = CardinalityExecutor(
-            self._sampled_database, cache_capacity=cache_capacity, block_rows=block_rows
+            self._sampled_database,
+            cache_capacity=cache_capacity,
+            block_rows=block_rows,
+            max_workers=max_workers,
+            scan_cache_capacity=scan_cache_capacity,
         )
 
     # ------------------------------------------------------------------
@@ -247,3 +260,12 @@ class SampledCardinalityExecutor:
     @property
     def cache_misses(self) -> int:
         return self._executor.cache_misses
+
+    @property
+    def scan_reuse_hits(self) -> int:
+        """Base scans served from the underlying executor's scan memo."""
+        return self._executor.scan_reuse_hits
+
+    @property
+    def scan_reuse_misses(self) -> int:
+        return self._executor.scan_reuse_misses

@@ -31,6 +31,7 @@ import numpy as np
 from repro.db.predicates import Operator
 from repro.db.query import Predicate
 from repro.db.table import Database, Table
+from repro.utils.parallel import WorkerPool
 from repro.utils.rng import spawn_rng
 
 __all__ = ["ColumnStatistics", "TableStatistics", "DatabaseStatistics", "estimate_num_distinct"]
@@ -247,6 +248,7 @@ class TableStatistics:
         sample_rows: int | None = None,
         rng: np.random.Generator | None = None,
         block_rows: int | None = None,
+        max_workers: "int | str | None" = None,
     ) -> "TableStatistics":
         """Statistics for every column, whole-array or block-streamed.
 
@@ -255,6 +257,13 @@ class TableStatistics:
         share one set of pre-drawn, sorted row positions) is gathered as the
         scan passes each block.  Distinct counts still use Duj1 when the
         sample is smaller than the table.
+
+        ``max_workers`` parallelizes the block stream: contiguous runs of
+        blocks go to worker threads, per-worker min/max partials fold
+        order-independently and sample gathers are concatenated in block
+        order, so the statistics are bit-identical to the serial scan.  (The
+        whole-array path stays serial: its sampled mode draws from ``rng``
+        column by column, an order that must not depend on threading.)
         """
         if block_rows is None:
             columns = {
@@ -275,6 +284,7 @@ class TableStatistics:
             sample_rows=sample_rows,
             rng=rng,
             block_rows=block_rows,
+            max_workers=max_workers,
         )
 
     @classmethod
@@ -285,6 +295,7 @@ class TableStatistics:
         sample_rows: int | None,
         rng: np.random.Generator | None,
         block_rows: int,
+        max_workers: "int | str | None" = None,
     ) -> "TableStatistics":
         names = table.schema.column_names
         num_rows = table.num_rows
@@ -302,29 +313,61 @@ class TableStatistics:
             picks = np.sort(rng.choice(num_rows, size=sample_rows, replace=False))
         else:
             picks = None
+        arrays = {name: table.column(name) for name in names}
+        spans = [
+            (start, min(start + block_rows, num_rows))
+            for start in range(0, num_rows, block_rows)
+        ]
+
+        def scan_blocks(span_lo: int, span_hi: int):
+            """Fold one contiguous run of blocks: min/max partials + gathers."""
+            minima = {name: None for name in names}
+            maxima = {name: None for name in names}
+            gathered: dict[str, list[np.ndarray]] = {name: [] for name in names}
+            for start, stop in spans[span_lo:span_hi]:
+                if picks is not None:
+                    lo = np.searchsorted(picks, start, side="left")
+                    hi = np.searchsorted(picks, stop, side="left")
+                    local = picks[lo:hi] - start
+                else:
+                    local = None
+                for name in names:
+                    values = arrays[name][start:stop]
+                    block_min = int(values.min())
+                    block_max = int(values.max())
+                    current_min = minima[name]
+                    if current_min is None or block_min < current_min:
+                        minima[name] = block_min
+                    current_max = maxima[name]
+                    if current_max is None or block_max > current_max:
+                        maxima[name] = block_max
+                    gathered[name].append(
+                        values[local] if local is not None else values.copy()
+                    )
+            return minima, maxima, gathered
+
+        # One shared scan, distributed as contiguous block runs: the min/max
+        # folds are order-independent and sample gathers are concatenated in
+        # block order, so any worker count reproduces the serial statistics
+        # bit for bit.
+        with WorkerPool(max_workers, name="statistics-scan") as pool:
+            partials = pool.run_spans(len(spans), scan_blocks)
         minima = {name: None for name in names}
         maxima = {name: None for name in names}
-        gathered: dict[str, list[np.ndarray]] = {name: [] for name in names}
-        for block in table.iter_blocks(block_rows=block_rows):
-            if picks is not None:
-                lo = np.searchsorted(picks, block.start, side="left")
-                hi = np.searchsorted(picks, block.stop, side="left")
-                local = picks[lo:hi] - block.start
-            else:
-                local = None
+        gathered = {name: [] for name in names}
+        for partial_minima, partial_maxima, partial_gathered in partials:
             for name in names:
-                values = block.column(name)
-                block_min = int(values.min())
-                block_max = int(values.max())
-                current_min = minima[name]
-                if current_min is None or block_min < current_min:
-                    minima[name] = block_min
-                current_max = maxima[name]
-                if current_max is None or block_max > current_max:
-                    maxima[name] = block_max
-                gathered[name].append(
-                    values[local] if local is not None else values.copy()
-                )
+                partial_min = partial_minima[name]
+                if partial_min is not None and (
+                    minima[name] is None or partial_min < minima[name]
+                ):
+                    minima[name] = partial_min
+                partial_max = partial_maxima[name]
+                if partial_max is not None and (
+                    maxima[name] is None or partial_max > maxima[name]
+                ):
+                    maxima[name] = partial_max
+                gathered[name].extend(partial_gathered[name])
         columns = {}
         for name in names:
             sample_values = np.concatenate(gathered[name])
@@ -366,6 +409,7 @@ class DatabaseStatistics:
         sample_rows: int | None = None,
         seed: int = 0,
         block_rows: int | None = None,
+        max_workers: "int | str | None" = None,
     ):
         self.database = database
         self.sample_rows = sample_rows
@@ -378,6 +422,7 @@ class DatabaseStatistics:
                 sample_rows=sample_rows,
                 rng=rng,
                 block_rows=block_rows,
+                max_workers=max_workers,
             )
             for name in database.table_names
         }

@@ -25,12 +25,30 @@ class TrueCardinalityEstimator(CardinalityEstimator):
     shared sub-plans constantly, and repeated scenario runs over one
     database snapshot re-execute nothing.  Pass ``cache_capacity=None`` to
     execute every call.
+
+    A second, coarser reuse layer sits below the result memo: the executor's
+    per-(table, predicate-set) scan memo (``scan_cache_capacity``).  Connected
+    sub-plans of one query share base-table predicate sets, so even sub-plans
+    whose *results* differ reuse each other's qualifying-row scans.
+    ``max_workers`` additionally fans each individual scan across threads
+    block-by-block (bit-identical counts at any worker count).
     """
 
     name = "True cardinality"
 
-    def __init__(self, database: Database, cache_capacity: int | None = 65536):
-        self._executor = CardinalityExecutor(database, cache_capacity=cache_capacity)
+    def __init__(
+        self,
+        database: Database,
+        cache_capacity: int | None = 65536,
+        scan_cache_capacity: int | None = 256,
+        max_workers: "int | str | None" = None,
+    ):
+        self._executor = CardinalityExecutor(
+            database,
+            cache_capacity=cache_capacity,
+            max_workers=max_workers,
+            scan_cache_capacity=scan_cache_capacity,
+        )
 
     @property
     def cache_hits(self) -> int:
@@ -40,6 +58,15 @@ class TrueCardinalityEstimator(CardinalityEstimator):
     @property
     def cache_misses(self) -> int:
         return self._executor.cache_misses
+
+    @property
+    def scan_reuse_hits(self) -> int:
+        """Base-table scans served from the per-predicate-set scan memo."""
+        return self._executor.scan_reuse_hits
+
+    @property
+    def scan_reuse_misses(self) -> int:
+        return self._executor.scan_reuse_misses
 
     def estimate(self, query: Query) -> float:
         return float(max(self._executor.execute(query), 1))

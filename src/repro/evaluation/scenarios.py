@@ -76,6 +76,8 @@ class ScenarioConfig:
     every workload (see :class:`~repro.workload.generator.WorkloadConfig`):
     at the ``large`` tier, queries over budget-exceeding table sets are
     labelled from bounded samples instead of full execution.
+    ``label_workers`` fans that truth labelling across threads (``None`` =
+    serial, ``"auto"`` = CPU count) with bit-identical workloads.
     """
 
     datasets: tuple[str, ...] = ()
@@ -102,6 +104,7 @@ class ScenarioConfig:
     truth_sample_rows: int = 100_000
     truth_confidence: float = 0.95
     block_rows: int | None = None
+    label_workers: "int | str | None" = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.dataset_scale, str) and self.dataset_scale <= 0:
@@ -126,6 +129,7 @@ class ScenarioConfig:
             truth_sample_rows=self.truth_sample_rows,
             truth_confidence=self.truth_confidence,
             block_rows=self.block_rows,
+            label_workers=self.label_workers,
         )
 
 
@@ -198,6 +202,22 @@ class ScenarioResult:
     #: Column-storage footprint of the scenario's database snapshot; lets the
     #: matrix report how much data each cell's estimates were computed over.
     database_bytes: int = 0
+    #: Truth-oracle execution-reuse counters for this cell's plan-quality
+    #: pass: sub-plan results served from the signature-keyed result memo
+    #: (``executor_cache_*``) and base-table scans served from the
+    #: per-predicate-set scan memo (``scan_reuse_*``).  All zero when plan
+    #: quality is disabled for the run.
+    executor_cache_hits: int = 0
+    executor_cache_misses: int = 0
+    scan_reuse_hits: int = 0
+    scan_reuse_misses: int = 0
+
+    @property
+    def executor_reuse_fraction(self) -> float | None:
+        """Fraction of oracle lookups (results + scans) served from a memo."""
+        hits = self.executor_cache_hits + self.scan_reuse_hits
+        total = hits + self.executor_cache_misses + self.scan_reuse_misses
+        return hits / total if total else None
 
     @property
     def num_queries(self) -> int:
@@ -269,6 +289,11 @@ def run_scenarios(
             estimator = factory(scenario)
             for workload_name, workload in scenario.evaluation_workloads.items():
                 evaluation = evaluate_estimator(estimator, workload)
+                oracle = scenario.true_estimator if scenario.config.include_plan_quality else None
+                before = _oracle_counters(oracle)
+                plan_quality = _plan_quality_summary(scenario, estimator, workload)
+                after = _oracle_counters(oracle)
+                deltas = tuple(b - a for a, b in zip(before, after))
                 results.append(
                     ScenarioResult(
                         dataset=scenario.name,
@@ -276,11 +301,27 @@ def run_scenarios(
                         estimator_name=label or evaluation.estimator_name,
                         summary=evaluation.summary(),
                         result=evaluation,
-                        plan_quality=_plan_quality_summary(scenario, estimator, workload),
+                        plan_quality=plan_quality,
                         database_bytes=scenario.database_bytes,
+                        executor_cache_hits=deltas[0],
+                        executor_cache_misses=deltas[1],
+                        scan_reuse_hits=deltas[2],
+                        scan_reuse_misses=deltas[3],
                     )
                 )
     return results
+
+
+def _oracle_counters(oracle: TrueCardinalityEstimator | None) -> tuple[int, int, int, int]:
+    """Snapshot of the truth oracle's reuse counters (zeros when disabled)."""
+    if oracle is None:
+        return (0, 0, 0, 0)
+    return (
+        oracle.cache_hits,
+        oracle.cache_misses,
+        oracle.scan_reuse_hits,
+        oracle.scan_reuse_misses,
+    )
 
 
 def _plan_quality_summary(
@@ -343,6 +384,12 @@ def format_scenario_matrix(results: list[ScenarioResult], title: str = "") -> st
     plan-cost ratio (true cost of the estimator-chosen plan over the optimal
     plan's): its median and maximum over the cell's multi-join queries plus
     ``opt%``, the fraction of queries where the chosen plan *is* optimal.
+
+    When any cell recorded truth-oracle reuse counters, an ``exec·hit%``
+    column reports the fraction of the oracle's lookups served from a memo
+    (sub-plan result cache hits plus base-scan reuse hits over all lookups)
+    during that cell's plan-quality pass — the observable effect of scan
+    reuse across sub-plan fan-outs.
     """
 
     def _value(value: float) -> str:
@@ -356,6 +403,7 @@ def format_scenario_matrix(results: list[ScenarioResult], title: str = "") -> st
 
     with_plans = any(entry.plan_quality is not None for entry in results)
     with_memory = any(entry.database_bytes > 0 for entry in results)
+    with_reuse = any(entry.executor_reuse_fraction is not None for entry in results)
     header = (
         f"{'dataset':<10} {'workload':<10} {'estimator':<26} {'queries':>7} "
         f"{'median':>8} {'90th':>8} {'95th':>8} {'99th':>8} {'max':>10} {'mean':>8}"
@@ -364,6 +412,8 @@ def format_scenario_matrix(results: list[ScenarioResult], title: str = "") -> st
         header += f" {'db·mem':>9}"
     if with_plans:
         header += f" {'plan·med':>9} {'plan·max':>9} {'opt%':>6}"
+    if with_reuse:
+        header += f" {'exec·hit%':>10}"
     lines = []
     if title:
         lines.append(title)
@@ -387,5 +437,8 @@ def format_scenario_matrix(results: list[ScenarioResult], title: str = "") -> st
                     f" {_value(quality.median):>9} {_value(quality.maximum):>9} "
                     f"{100.0 * quality.fraction_optimal:>5.0f}%"
                 )
+        if with_reuse:
+            reuse = entry.executor_reuse_fraction
+            line += f" {'—':>10}" if reuse is None else f" {100.0 * reuse:>9.0f}%"
         lines.append(line)
     return "\n".join(lines)

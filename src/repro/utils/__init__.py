@@ -1,18 +1,65 @@
 """Shared utilities: deterministic RNG management, timing, benchmark
-records, and seeded fault injection for the reliability test harness."""
+records, thread-parallel execution, and seeded fault injection for the
+reliability test harness.
 
-from repro.utils.bench import latency_percentiles_ms, write_bench_json
-from repro.utils.faults import FaultPlan, FaultSpec, InjectedFault, fault_point
-from repro.utils.rng import spawn_rng
-from repro.utils.timer import Timer
+Submodules are imported lazily (PEP 562): ``repro.utils.bench`` must be
+importable *without* pulling in numpy, because
+:func:`~repro.utils.bench.pin_blas_threads` has to run before numpy — and
+therefore before the BLAS libraries read their thread-count environment
+variables — is loaded anywhere in the process.
+"""
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers only
+    from repro.utils.bench import latency_percentiles_ms, pin_blas_threads, write_bench_json
+    from repro.utils.faults import FaultPlan, FaultSpec, InjectedFault, fault_point
+    from repro.utils.parallel import WorkerPool, chunk_spans, resolve_worker_count
+    from repro.utils.rng import spawn_rng
+    from repro.utils.timer import Timer
 
 __all__ = [
     "spawn_rng",
     "Timer",
     "latency_percentiles_ms",
+    "pin_blas_threads",
     "write_bench_json",
+    "WorkerPool",
+    "chunk_spans",
+    "resolve_worker_count",
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",
     "fault_point",
 ]
+
+_EXPORTS = {
+    "spawn_rng": "repro.utils.rng",
+    "Timer": "repro.utils.timer",
+    "latency_percentiles_ms": "repro.utils.bench",
+    "pin_blas_threads": "repro.utils.bench",
+    "write_bench_json": "repro.utils.bench",
+    "WorkerPool": "repro.utils.parallel",
+    "chunk_spans": "repro.utils.parallel",
+    "resolve_worker_count": "repro.utils.parallel",
+    "FaultPlan": "repro.utils.faults",
+    "FaultSpec": "repro.utils.faults",
+    "InjectedFault": "repro.utils.faults",
+    "fault_point": "repro.utils.faults",
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache so subsequent lookups skip __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -29,6 +29,7 @@ from repro.db.executor import CardinalityExecutor
 from repro.db.predicates import Operator
 from repro.db.query import JoinCondition, Predicate, Query
 from repro.db.table import Database
+from repro.utils.parallel import WorkerPool, resolve_worker_count
 from repro.utils.rng import spawn_rng
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle, type hints only
@@ -80,6 +81,15 @@ class WorkloadConfig:
     tables sum to more than ``truth_row_budget`` rows, so small snapshots keep
     exact labels with zero behaviour change.  ``block_rows`` streams both
     oracles' scans block-by-block (bit-identical counts, bounded peak memory).
+
+    ``label_workers`` fans truth labeling across a thread pool (``None`` =
+    serial, ``"auto"`` = CPU count, or a worker count): queries are still
+    drawn serially from the RNG and deduplicated in draw order, but candidate
+    batches are labelled concurrently through the thread-safe executors.
+    Labels are pure functions of the immutable snapshot, acceptance is
+    decided in draw order, and the workload is truncated at the target — so
+    the generated workload is **identical at any worker count**, including
+    serial.
     """
 
     num_queries: int = 1000
@@ -95,6 +105,7 @@ class WorkloadConfig:
     truth_sample_rows: int = 100_000
     truth_confidence: float = 0.95
     block_rows: int | None = None
+    label_workers: "int | str | None" = None
 
     def __post_init__(self) -> None:
         if self.num_queries <= 0:
@@ -111,6 +122,7 @@ class WorkloadConfig:
             raise ValueError("truth_confidence must lie strictly between 0 and 1")
         if self.block_rows is not None and self.block_rows < 1:
             raise ValueError("block_rows must be at least 1 when given")
+        resolve_worker_count(self.label_workers)  # validates; raises on junk
 
 
 class QueryGenerator:
@@ -122,6 +134,7 @@ class QueryGenerator:
         self.schema = database.schema
         self._executor = CardinalityExecutor(database, block_rows=self.config.block_rows)
         self._sampled_executor: "SampledCardinalityExecutor | None" = None
+        self._label_pool = WorkerPool(self.config.label_workers, name="truth-label")
         self._rng = spawn_rng(self.config.seed, "query-generator")
         self._join_graph_tables = self.schema.tables_in_join_graph() or self.schema.table_names
         self._component_sizes = self.schema.join_component_sizes() or {
@@ -143,6 +156,12 @@ class QueryGenerator:
         Raises ``RuntimeError`` if the generator cannot find enough unique
         non-empty queries within a bounded number of attempts (which would
         indicate a database far too small for the requested workload size).
+
+        Labeling is fanned across ``config.label_workers`` threads in batches.
+        Drawing stays serial (the RNG stream is shared and labels never feed
+        back into draws), candidates are accepted in draw order and the list
+        is truncated at the target — so the output is identical to the serial
+        generator at every worker count.
         """
         target = num_queries if num_queries is not None else self.config.num_queries
         labelled: list[LabelledQuery] = []
@@ -150,16 +169,27 @@ class QueryGenerator:
         attempts = 0
         max_attempts = max(target * self.config.max_attempts_factor, 1000)
         while len(labelled) < target and attempts < max_attempts:
-            attempts += 1
-            query = self._draw_query()
-            signature = query.signature()
-            if signature in seen:
+            batch: list[Query] = []
+            want = target - len(labelled)
+            while len(batch) < want and attempts < max_attempts:
+                attempts += 1
+                query = self._draw_query()
+                signature = query.signature()
+                if signature in seen:
+                    continue
+                seen.add(signature)
+                batch.append(query)
+            if not batch:
                 continue
-            seen.add(signature)
-            entry = self._label(query)
-            if self.config.skip_empty_results and entry.cardinality == 0:
-                continue
-            labelled.append(entry)
+            if any(self._should_sample(query) for query in batch):
+                # Materialize the sampled oracle up front: lazy first-use
+                # construction must not race across labeling threads.
+                self._sampled()
+            for entry in self._label_pool.map(self._label, batch):
+                if self.config.skip_empty_results and entry.cardinality == 0:
+                    continue
+                if len(labelled) < target:
+                    labelled.append(entry)
         if len(labelled) < target:
             raise RuntimeError(
                 f"could only generate {len(labelled)} of {target} unique non-empty queries "

@@ -1,0 +1,197 @@
+"""Bit-identity of the thread-parallel execution tier.
+
+The executor's parallelism contract is absolute: at any ``max_workers`` and
+any ``block_rows``, COUNT(*) results, sampled labels and table statistics
+are **identical** to the serial whole-array path.  These tests sweep the
+worker budget against pathological block sizes (1-row blocks maximize span
+count; 4096 exceeds every test table) over a real correlated workload, and
+separately pin down the scan-reuse memo's counters, eviction bound and
+correctness under sharing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db.executor import CardinalityExecutor
+from repro.db.sampled import SampledCardinalityExecutor
+from repro.db.statistics import TableStatistics
+from repro.utils.rng import spawn_rng
+from repro.workload.generator import QueryGenerator, WorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def probe_queries(tiny_database):
+    """A mixed 0-3-join query set drawn (unlabelled) for identity sweeps."""
+    generator = QueryGenerator(
+        tiny_database, WorkloadConfig(num_queries=40, max_joins=3, seed=23)
+    )
+    return [generator._draw_query() for _ in range(40)]
+
+
+@pytest.fixture(scope="module")
+def reference_counts(tiny_database, probe_queries):
+    executor = CardinalityExecutor(tiny_database)
+    return [executor.execute(query) for query in probe_queries]
+
+
+class TestExactExecutorBitIdentity:
+    @pytest.mark.parametrize("max_workers", [1, 2, 7])
+    @pytest.mark.parametrize("block_rows", [1, 7, 4096])
+    def test_parallel_block_scan_matches_serial(
+        self, tiny_database, probe_queries, reference_counts, max_workers, block_rows
+    ):
+        executor = CardinalityExecutor(
+            tiny_database, block_rows=block_rows, max_workers=max_workers
+        )
+        # 1-row blocks maximize span count but cost ~num_rows dispatches per
+        # table; a query subset keeps the pathological case affordable.
+        count = 12 if block_rows == 1 else len(probe_queries)
+        got = [executor.execute(q) for q in probe_queries[:count]]
+        assert got == reference_counts[:count]
+
+    @pytest.mark.parametrize("max_workers", ["auto", 3])
+    def test_whole_array_path_ignores_workers_but_stays_identical(
+        self, tiny_database, probe_queries, reference_counts, max_workers
+    ):
+        executor = CardinalityExecutor(tiny_database, max_workers=max_workers)
+        assert [executor.execute(q) for q in probe_queries] == reference_counts
+
+    def test_resolved_worker_budget_exposed(self, tiny_database):
+        assert CardinalityExecutor(tiny_database).max_workers == 1
+        assert CardinalityExecutor(tiny_database, max_workers=5).max_workers == 5
+
+
+class TestSampledExecutorBitIdentity:
+    @pytest.mark.parametrize("max_workers", [1, 2, 7])
+    @pytest.mark.parametrize("block_rows", [7, 4096])
+    def test_sampled_labels_match_serial(
+        self, tiny_database, probe_queries, max_workers, block_rows
+    ):
+        serial = SampledCardinalityExecutor(tiny_database, sample_rows=500, seed=3)
+        parallel = SampledCardinalityExecutor(
+            tiny_database,
+            sample_rows=500,
+            seed=3,
+            block_rows=block_rows,
+            max_workers=max_workers,
+        )
+        for query in probe_queries[:15]:
+            expected = serial.execute(query)
+            got = parallel.execute(query)
+            assert got.estimate == expected.estimate
+            assert got.lower == expected.lower
+            assert got.upper == expected.upper
+            assert got.observed == expected.observed
+
+
+class TestStatisticsBitIdentity:
+    @pytest.mark.parametrize("max_workers", [1, 2, 7])
+    @pytest.mark.parametrize("block_rows", [1, 7, 4096])
+    def test_block_parallel_statistics_match_serial(
+        self, tiny_database, max_workers, block_rows
+    ):
+        table = tiny_database.table("title")
+        reference = TableStatistics.from_table(table)
+        parallel = TableStatistics.from_table(
+            table, block_rows=block_rows, max_workers=max_workers
+        )
+        for name in table.schema.column_names:
+            expected, got = reference.column(name), parallel.column(name)
+            assert got.num_distinct == expected.num_distinct
+            assert got.minimum == expected.minimum
+            assert got.maximum == expected.maximum
+
+    @pytest.mark.parametrize("max_workers", [2, 7])
+    def test_sampled_statistics_match_serial_block_path(self, tiny_database, max_workers):
+        # The ANALYZE sample must come out identical too: positions are drawn
+        # up front and gathered in block order, independent of threading.
+        table = tiny_database.table("movie_keyword")
+        serial = TableStatistics.from_table(
+            table, sample_rows=200, rng=spawn_rng(5, "analyze"), block_rows=64
+        )
+        parallel = TableStatistics.from_table(
+            table,
+            sample_rows=200,
+            rng=spawn_rng(5, "analyze"),
+            block_rows=64,
+            max_workers=max_workers,
+        )
+        for name in table.schema.column_names:
+            expected, got = serial.column(name), parallel.column(name)
+            assert got.num_distinct == expected.num_distinct
+            assert np.array_equal(got.histogram_bounds, expected.histogram_bounds)
+            assert np.array_equal(got.mcv_values, expected.mcv_values)
+            assert np.array_equal(got.mcv_fractions, expected.mcv_fractions)
+
+
+class TestScanReuse:
+    def test_subplan_fanout_reuses_base_scans(self, tiny_database, probe_queries):
+        executor = CardinalityExecutor(tiny_database, scan_cache_capacity=256)
+        query = max(probe_queries, key=lambda q: q.num_joins)
+        assert query.num_joins >= 2
+        reference = CardinalityExecutor(tiny_database)
+        for subquery in query.connected_subqueries():
+            assert executor.execute(subquery) == reference.execute(subquery)
+        # Each (table, predicate-set) pair is scanned once; every further
+        # sub-plan touching the table hits the memo.
+        assert executor.scan_reuse_hits > 0
+        distinct_scans = {
+            (table, tuple(sorted((p.column, p.operator.value, p.value)
+                                 for p in subquery.predicates_on(table))))
+            for subquery in query.connected_subqueries()
+            for table in subquery.tables
+        }
+        assert executor.scan_reuse_misses == len(distinct_scans)
+
+    def test_counters_off_by_default(self, tiny_database, probe_queries):
+        executor = CardinalityExecutor(tiny_database)
+        executor.execute(probe_queries[0])
+        assert executor.scan_reuse_hits == executor.scan_reuse_misses == 0
+
+    def test_memo_results_equal_fresh_scans(self, tiny_database, probe_queries):
+        cached = CardinalityExecutor(tiny_database, scan_cache_capacity=8)
+        fresh = CardinalityExecutor(tiny_database)
+        # Run the workload twice through the memoizing executor: second pass
+        # is served from the memo and must still agree with a fresh executor.
+        for _ in range(2):
+            for query in probe_queries[:12]:
+                assert cached.execute(query) == fresh.execute(query)
+
+    def test_lru_eviction_bounds_memo(self, tiny_database, probe_queries):
+        executor = CardinalityExecutor(tiny_database, scan_cache_capacity=2)
+        for query in probe_queries[:12]:
+            executor.execute(query)
+        assert len(executor._scan_cache) <= 2
+
+    def test_rejects_non_positive_capacity(self, tiny_database):
+        with pytest.raises(ValueError):
+            CardinalityExecutor(tiny_database, scan_cache_capacity=0)
+
+    def test_sampled_executor_forwards_counters(self, tiny_database, probe_queries):
+        executor = SampledCardinalityExecutor(
+            tiny_database, sample_rows=500, scan_cache_capacity=64
+        )
+        query = max(probe_queries, key=lambda q: q.num_joins)
+        for subquery in query.connected_subqueries():
+            executor.execute(subquery)
+        assert executor.scan_reuse_hits > 0
+        assert executor.scan_reuse_misses > 0
+
+
+class TestParallelScanWithScanReuse:
+    @pytest.mark.parametrize("max_workers", [2, 7])
+    def test_combined_parallel_and_memoized_matches_serial(
+        self, tiny_database, probe_queries, reference_counts, max_workers
+    ):
+        executor = CardinalityExecutor(
+            tiny_database,
+            block_rows=64,
+            max_workers=max_workers,
+            scan_cache_capacity=128,
+            cache_capacity=128,
+        )
+        assert [executor.execute(q) for q in probe_queries] == reference_counts
+        # And again, now largely memo-served.
+        assert [executor.execute(q) for q in probe_queries] == reference_counts

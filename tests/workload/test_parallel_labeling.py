@@ -1,0 +1,144 @@
+"""Determinism of concurrent truth labeling (``WorkloadConfig.label_workers``).
+
+Drawing stays on the single shared RNG stream; only labeling fans across
+threads.  The generated workload must therefore be **identical at every
+worker count** — same queries, same order, same labels, same truth modes
+and bounds — and the thread-shared executor caches must stay coherent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.db.executor import CardinalityExecutor
+from repro.workload.generator import QueryGenerator, WorkloadConfig
+
+
+def _fingerprint(workload):
+    return [
+        (entry.query.signature(), entry.cardinality, entry.truth_mode, entry.bounds)
+        for entry in workload
+    ]
+
+
+class TestParallelLabelingDeterminism:
+    @pytest.mark.parametrize("label_workers", [1, 2, 7, "auto"])
+    def test_exact_labels_identical_at_any_worker_count(
+        self, tiny_database, label_workers
+    ):
+        base = WorkloadConfig(num_queries=60, max_joins=2, seed=31)
+        reference = QueryGenerator(tiny_database, base).generate()
+        parallel = QueryGenerator(
+            tiny_database, replace(base, label_workers=label_workers)
+        ).generate()
+        assert _fingerprint(parallel) == _fingerprint(reference)
+
+    @pytest.mark.parametrize("label_workers", [2, 7])
+    def test_sampled_labels_identical_at_any_worker_count(
+        self, tiny_database, label_workers
+    ):
+        # Force the sampled oracle on every query: its lazy construction and
+        # its confidence bounds must both survive concurrent labeling.
+        base = WorkloadConfig(
+            num_queries=25,
+            max_joins=2,
+            seed=13,
+            truth_mode="sampled",
+            truth_sample_rows=500,
+        )
+        reference = QueryGenerator(tiny_database, base).generate()
+        parallel = QueryGenerator(
+            tiny_database, replace(base, label_workers=label_workers)
+        ).generate()
+        assert _fingerprint(parallel) == _fingerprint(reference)
+
+    def test_auto_truth_mode_mixes_oracles_identically(self, tiny_database):
+        # A row budget between the smallest and largest referenced-table sums
+        # routes some queries exact and some sampled within one workload.
+        base = WorkloadConfig(
+            num_queries=30,
+            max_joins=2,
+            seed=17,
+            truth_mode="auto",
+            truth_row_budget=3000,
+            truth_sample_rows=400,
+        )
+        reference = QueryGenerator(tiny_database, base).generate()
+        parallel = QueryGenerator(
+            tiny_database, replace(base, label_workers=4)
+        ).generate()
+        assert _fingerprint(parallel) == _fingerprint(reference)
+        assert {entry.truth_mode for entry in reference} == {"exact", "sampled"}
+
+    def test_skip_empty_results_truncates_identically(self, tiny_database):
+        base = WorkloadConfig(
+            num_queries=40, max_joins=2, seed=19, skip_empty_results=True
+        )
+        reference = QueryGenerator(tiny_database, base).generate()
+        parallel = QueryGenerator(
+            tiny_database, replace(base, label_workers=3)
+        ).generate()
+        assert len(reference) == len(parallel) == 40
+        assert _fingerprint(parallel) == _fingerprint(reference)
+
+    def test_explicit_num_queries_override(self, tiny_database):
+        config = WorkloadConfig(num_queries=50, max_joins=1, seed=5, label_workers=2)
+        workload = QueryGenerator(tiny_database, config).generate(num_queries=15)
+        assert len(workload) == 15
+
+    def test_config_validates_label_workers(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(label_workers=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(label_workers="fast")
+        WorkloadConfig(label_workers="auto")  # valid
+        WorkloadConfig(label_workers=None)  # valid
+
+
+class TestThreadedExecutorSharing:
+    def test_concurrent_labeling_through_shared_lru(self, tiny_database):
+        """Stress the executor's shared caches from many labeling threads.
+
+        Every thread hammers the same signature-keyed LRU and scan memo; the
+        counts must match a fresh serial executor and the counters must stay
+        consistent (hits + misses == lookups) under contention.
+        """
+        import threading
+
+        generator = QueryGenerator(
+            tiny_database, WorkloadConfig(num_queries=30, max_joins=2, seed=41)
+        )
+        queries = [generator._draw_query() for _ in range(30)]
+        shared = CardinalityExecutor(
+            tiny_database, cache_capacity=64, scan_cache_capacity=64
+        )
+        serial = CardinalityExecutor(tiny_database)
+        expected = [serial.execute(query) for query in queries]
+
+        results: dict[int, list[int]] = {}
+        errors: list[BaseException] = []
+
+        def worker(slot: int) -> None:
+            try:
+                results[slot] = [shared.execute(query) for query in queries]
+            except BaseException as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(slot,)) for slot in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        for slot in range(6):
+            assert results[slot] == expected
+        lookups = shared.cache_hits + shared.cache_misses
+        assert lookups == 6 * len(queries)
+        # Each unique signature misses at least once (drawn queries may
+        # repeat a signature); the rest must be hits.
+        unique = len({query.signature() for query in queries})
+        assert shared.cache_misses >= unique
+        assert shared.cache_hits > 0
