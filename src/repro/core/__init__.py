@@ -17,6 +17,7 @@ The sub-modules follow the pipeline of Section 3:
 * :mod:`repro.core.estimator` — the public :class:`MSCNEstimator` façade.
 """
 
+from repro.core.arena import ScratchArena
 from repro.core.batching import Batch, FeaturizedDataset
 from repro.core.config import FeaturizationVariant, MSCNConfig
 from repro.core.ensemble import EnsembleEstimate, EnsembleMSCNEstimator
@@ -36,6 +37,7 @@ __all__ = [
     "QueryFeaturizer",
     "FeaturizedQuery",
     "FeatureBuffers",
+    "ScratchArena",
     "Batch",
     "FeaturizedDataset",
     "MSCN",

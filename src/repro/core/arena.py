@@ -1,0 +1,173 @@
+"""Generation-tagged scratch arenas: grow-only buffers recycled across batches.
+
+Several long-lived components reuse large numpy scratch across serving
+micro-batches — the :class:`~repro.core.inference.InferenceEngine` keeps
+per-layer intermediates, the :class:`~repro.serving.service.EstimationService`
+batcher keeps the ragged feature arrays it featurizes each micro-batch into.
+Before this module each of them carried its own ad-hoc grow-only dict of
+arrays; :class:`ScratchArena` is the shared allocator behind both, adding the
+two things the ad-hoc dicts could not provide:
+
+* **Generation tags.**  ``advance_generation()`` releases every buffer and
+  stamps the arena with a new generation — the model hot-swap boundary.
+  Within one generation buffers never shrink (capacity is monotone), so a
+  steady workload reaches a fixed point after which no large feature or
+  scratch allocation happens at all.
+* **Observability.**  The arena records its high-water footprint (survives
+  resets) and a *reuse rate*: the fraction of completed :meth:`lease` scopes
+  that were served entirely from recycled capacity, with no new backing
+  allocation.  A healthy steady-state service shows a reuse rate approaching
+  1.0; a rate stuck near 0.0 means every micro-batch is larger than the last
+  (or widths keep changing) and the arena is churning.
+
+A *lease* brackets one unit of scratch lifetime — one serving micro-batch,
+one engine forward pass.  Views handed out by :meth:`zeroed` / :meth:`array`
+alias the arena and are only valid until the next lease against the same
+names; that is exactly the micro-batch lifecycle, and the same aliasing
+contract the previous per-component buffers had.
+
+The arena itself is **not** thread-safe: every owner already brackets its
+scratch use with its own lock (the engine's run lock) or confines it to one
+thread (the service's batcher thread), and adding a second lock here would
+only add uncontended-acquisition noise to the hot path.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["ScratchArena"]
+
+
+class ScratchArena:
+    """A named set of grow-only numpy buffers with generation/reuse accounting.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic label (appears nowhere hot; helps debugging multi-arena
+        services).
+    """
+
+    def __init__(self, name: str = "scratch") -> None:
+        self.name = name
+        self._arrays: dict[str, np.ndarray] = {}
+        self._generation = 0
+        self._high_water_bytes = 0
+        self._grows = 0
+        self._requests = 0
+        self._leases_completed = 0
+        self._leases_reused = 0
+        self._lease_depth = 0
+        self._lease_grew = False
+
+    # -- allocation ------------------------------------------------------
+    def array(self, name: str, rows: int, width: int, dtype: np.dtype) -> np.ndarray:
+        """An *uninitialized* ``(rows, width)`` view into the named buffer.
+
+        For scratch that is fully overwritten before being read (matmul
+        outputs and the like); skips the memset that :meth:`zeroed` pays.
+        """
+        return self._obtain(name, rows, width, np.dtype(dtype))[:rows]
+
+    def zeroed(self, name: str, rows: int, width: int, dtype: np.dtype) -> np.ndarray:
+        """A zero-filled ``(rows, width)`` view into the named buffer.
+
+        Only the ``rows`` handed out are re-zeroed (a memset over the view,
+        far cheaper than allocator churn plus zeroing the full capacity).
+        """
+        view = self._obtain(name, rows, width, np.dtype(dtype))[:rows]
+        view[...] = 0.0
+        return view
+
+    def _obtain(self, name: str, rows: int, width: int, dtype: np.dtype) -> np.ndarray:
+        cached = self._arrays.get(name)
+        self._requests += 1
+        if (
+            cached is None
+            or cached.shape[0] < rows
+            or cached.shape[1] != width
+            or cached.dtype != dtype
+        ):
+            # Within a generation capacity is monotone: a compatible buffer
+            # (same width and dtype) keeps its larger capacity; a width or
+            # dtype change — a different model's schema — reallocates at the
+            # requested size.
+            compatible = (
+                cached is not None and cached.shape[1] == width and cached.dtype == dtype
+            )
+            capacity = max(rows, cached.shape[0] if compatible else 0)
+            cached = np.empty((capacity, width), dtype=dtype)
+            self._arrays[name] = cached
+            self._grows += 1
+            self._lease_grew = True
+            total = self.nbytes
+            if total > self._high_water_bytes:
+                self._high_water_bytes = total
+        return cached
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """Generation stamp; bumped by :meth:`advance_generation`."""
+        return self._generation
+
+    def reset(self) -> None:
+        """Release every buffer (they regrow on demand; high-water persists)."""
+        self._arrays.clear()
+
+    def advance_generation(self) -> int:
+        """Release every buffer and enter a new generation (model-swap point)."""
+        self.reset()
+        self._generation += 1
+        return self._generation
+
+    def drop_rows_above(self, rows_cap: int) -> None:
+        """Evict buffers whose capacity exceeds ``rows_cap`` rows.
+
+        The engine's post-run capacity cap: one huge batch must not pin peak
+        memory in a long-lived service forever.
+        """
+        for name, cached in list(self._arrays.items()):
+            if cached.shape[0] > rows_cap:
+                del self._arrays[name]
+
+    @contextmanager
+    def lease(self) -> Iterator["ScratchArena"]:
+        """Bracket one micro-batch's scratch lifetime, for reuse accounting.
+
+        A lease that completes without triggering any backing allocation
+        counts as *reused*; nested leases fold into the outermost one.
+        """
+        self._lease_depth += 1
+        if self._lease_depth == 1:
+            self._lease_grew = False
+        try:
+            yield self
+        finally:
+            self._lease_depth -= 1
+            if self._lease_depth == 0:
+                self._leases_completed += 1
+                if not self._lease_grew:
+                    self._leases_reused += 1
+
+    # -- observability ----------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Bytes currently pinned by the backing buffers."""
+        return sum(array.nbytes for array in self._arrays.values())
+
+    @property
+    def high_water_bytes(self) -> int:
+        """Largest total footprint the arena has reached (survives resets)."""
+        return self._high_water_bytes
+
+    @property
+    def reuse_rate(self) -> float:
+        """Fraction of completed leases served entirely from recycled capacity."""
+        if self._leases_completed == 0:
+            return 0.0
+        return self._leases_reused / self._leases_completed

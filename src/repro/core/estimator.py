@@ -94,6 +94,7 @@ class MSCNEstimator:
             samples=self.samples,
             variant=self.config.variant,
             dtype=self.config.np_dtype,
+            featurize_workers=self.config.featurize_workers,
         )
         self._model: MSCN | None = None
         self._trainer: MSCNTrainer | None = None
@@ -317,6 +318,13 @@ class MSCNEstimator:
             return 0
         return self._trainer._pool.scratch_high_water_bytes
 
+    @property
+    def scratch_reuse_rate(self) -> float:
+        """Fraction of inference runs served from recycled engine scratch."""
+        if self._trainer is None or self._trainer._pool is None:
+            return 0.0
+        return self._trainer._pool.scratch_reuse_rate
+
     def reset_inference_scratch(self) -> None:
         """Release cached inference scratch buffers (no-op before first use)."""
         if self._trainer is not None and self._trainer._pool is not None:
@@ -362,6 +370,7 @@ class MSCNEstimator:
                 "engine_replicas": self.config.engine_replicas,
                 "inference_chunk_size": self.config.inference_chunk_size,
                 "scratch_rows_cap": self.config.scratch_rows_cap,
+                "featurize_workers": self.config.featurize_workers,
             },
             "normalizer": {
                 "min_log": self._normalizer.min_log,
@@ -400,6 +409,7 @@ class MSCNEstimator:
             engine_replicas=config_data.get("engine_replicas", 1),
             inference_chunk_size=config_data.get("inference_chunk_size"),
             scratch_rows_cap=config_data.get("scratch_rows_cap"),
+            featurize_workers=config_data.get("featurize_workers"),
         )
         samples = None
         if metadata.get("has_samples"):

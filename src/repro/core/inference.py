@@ -49,6 +49,7 @@ import threading
 
 import numpy as np
 
+from repro.core.arena import ScratchArena
 from repro.core.model import MSCN
 from repro.nn.functional import segment_sum_array
 from repro.utils.faults import fault_point
@@ -214,8 +215,7 @@ class InferenceEngine:
         if scratch_rows_cap is not None and scratch_rows_cap < 1:
             raise ValueError("scratch_rows_cap must be >= 1 (or None for unbounded)")
         self.scratch_rows_cap = scratch_rows_cap
-        self._buffers: dict[str, np.ndarray] = {}
-        self._scratch_high_water = 0
+        self._scratch = ScratchArena(name="engine-scratch")
         # The scratch buffers make a run stateful; serialize concurrent
         # callers so shared-estimator serving from multiple threads stays
         # correct (uncontended acquisition is nanoseconds, far below one
@@ -275,40 +275,44 @@ class InferenceEngine:
     # ------------------------------------------------------------------
     # Scratch-buffer management
     # ------------------------------------------------------------------
+    @property
+    def _buffers(self) -> dict:
+        """The scratch arena's backing arrays (kept for introspection)."""
+        return self._scratch._arrays
+
     def _buffer(self, name: str, rows: int, cols: int) -> np.ndarray:
-        """A ``(rows, cols)`` scratch view into a grow-only cached buffer."""
-        cached = self._buffers.get(name)
-        if cached is None or cached.shape[0] < rows or cached.shape[1] != cols:
-            capacity = max(rows, cached.shape[0] if cached is not None else 0)
-            cached = np.empty((capacity, cols), dtype=self.dtype)
-            self._buffers[name] = cached
-        return cached[:rows]
+        """A ``(rows, cols)`` scratch view into the engine's scratch arena."""
+        return self._scratch.array(name, rows, cols, self.dtype)
 
     def reset_scratch(self) -> None:
         """Release every cached scratch buffer (the high-water mark persists)."""
         with self._run_lock:
-            self._buffers.clear()
+            self._scratch.reset()
 
     def scratch_bytes(self) -> int:
         """Bytes currently held by the cached scratch buffers."""
         with self._run_lock:
-            return sum(buffer.nbytes for buffer in self._buffers.values())
+            return self._scratch.nbytes
 
     @property
     def scratch_high_water_bytes(self) -> int:
         """Largest scratch footprint any run has reached (survives resets)."""
-        return self._scratch_high_water
+        return self._scratch.high_water_bytes
+
+    @property
+    def scratch_reuse_rate(self) -> float:
+        """Fraction of runs served entirely from recycled scratch capacity."""
+        return self._scratch.reuse_rate
 
     def _account_scratch(self) -> None:
-        """Record the footprint and enforce the capacity cap (run-locked)."""
-        total = sum(buffer.nbytes for buffer in self._buffers.values())
-        if total > self._scratch_high_water:
-            self._scratch_high_water = total
+        """Enforce the capacity cap after a run (run-locked).
+
+        The high-water mark is tracked by the arena at allocation time, so
+        only the eviction policy lives here.
+        """
         cap = self.scratch_rows_cap
         if cap is not None:
-            for name, buffer in list(self._buffers.items()):
-                if buffer.shape[0] > cap:
-                    del self._buffers[name]
+            self._scratch.drop_rows_above(cap)
 
     # ------------------------------------------------------------------
     def _mlp(self, layers: dict, prefix: str, features: np.ndarray) -> np.ndarray:
@@ -373,7 +377,8 @@ class InferenceEngine:
         fault_point("engine.run", batch_size=size)
         with self._run_lock:
             active = snapshot if snapshot is not None else self._snapshot
-            result = self._run_locked(dataset, size, active.layers)
+            with self._scratch.lease():
+                result = self._run_locked(dataset, size, active.layers)
             self._account_scratch()
             return result
 

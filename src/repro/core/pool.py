@@ -125,19 +125,38 @@ class EnginePool:
     # ------------------------------------------------------------------
     # Scratch accounting (aggregated over replicas)
     # ------------------------------------------------------------------
+    def _engine_snapshot(self) -> "tuple[InferenceEngine, ...]":
+        """The replica list, snapshotted under the refresh lock.
+
+        Scratch accounting iterates the replicas outside any run lock; taking
+        the snapshot under ``_refresh_lock`` guarantees a concurrent
+        ``refresh()`` cannot interleave with the walk, so every aggregate sees
+        a consistent replica set and post-swap snapshot state.
+        """
+        with self._refresh_lock:
+            return tuple(self._engines)
+
     def reset_scratch(self) -> None:
         """Release every replica's cached scratch buffers."""
-        for engine in self._engines:
+        for engine in self._engine_snapshot():
             engine.reset_scratch()
 
     def scratch_bytes(self) -> int:
         """Bytes currently held across all replicas' scratch buffers."""
-        return sum(engine.scratch_bytes() for engine in self._engines)
+        return sum(engine.scratch_bytes() for engine in self._engine_snapshot())
 
     @property
     def scratch_high_water_bytes(self) -> int:
         """Summed per-replica high-water marks (peak pinned scratch bound)."""
-        return sum(engine.scratch_high_water_bytes for engine in self._engines)
+        return sum(engine.scratch_high_water_bytes for engine in self._engine_snapshot())
+
+    @property
+    def scratch_reuse_rate(self) -> float:
+        """Mean fraction of runs served from recycled scratch across replicas."""
+        engines = self._engine_snapshot()
+        if not engines:
+            return 0.0
+        return sum(engine.scratch_reuse_rate for engine in engines) / len(engines)
 
     # ------------------------------------------------------------------
     def run_many(self, dataset, chunk_size: "int | None" = None) -> np.ndarray:

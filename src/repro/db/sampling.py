@@ -247,6 +247,17 @@ class MaterializedSamples:
         """Number of distinct probe signatures currently cached."""
         return len(self._bitmap_cache)
 
+    def record_bitmap_reuse(self, count: int = 1) -> None:
+        """Credit ``count`` probes served from an external memoized store.
+
+        A :class:`~repro.core.featurization.CompiledFeaturizerPlan` keeps
+        resolved probe bitmaps in its own probe matrix; a plan cache hit
+        reuses those bitmaps without re-probing this cache.  Crediting the
+        reuse here keeps ``bitmap_cache_hits`` meaning what it always meant:
+        probes answered without re-evaluating predicates on the samples.
+        """
+        self._bitmap_cache_hits += int(count)
+
     def clear_bitmap_cache(self) -> None:
         """Drop all memoized bitmaps and reset the hit/miss counters."""
         self._bitmap_cache.clear()

@@ -338,6 +338,9 @@ class EstimationService:
                 getattr(model, "scratch_high_water_bytes", 0)
             ),
             feature_buffer_bytes=self._feature_buffers.nbytes,
+            feature_arena_high_water_bytes=self._feature_buffers.high_water_bytes,
+            feature_arena_reuse_rate=self._feature_buffers.reuse_rate,
+            scratch_reuse_rate=float(getattr(model, "scratch_reuse_rate", 0.0)),
             breaker_state=self._breaker.state,
             breaker_opens=self._breaker.opens,
         )
@@ -406,8 +409,10 @@ class EstimationService:
             self._cache.clear()
         # The new model may featurize to different widths/dtype; dropping the
         # backing arrays here (instead of relying on width-mismatch regrowth)
-        # keeps a swap from pinning the old schema's buffers forever.
-        self._feature_buffers.reset()
+        # keeps a swap from pinning the old schema's buffers forever.  The
+        # generation bump also resets the grow-only guarantee: capacities
+        # are monotone within a model generation, not across swaps.
+        self._feature_buffers.advance_generation()
         self._breaker.record_success()
         self._stats.record_swap()
 
@@ -736,7 +741,11 @@ class EstimationService:
             # Zero-copy: the dataset views the service's reusable buffers.
             # Safe because only this (single) batcher thread featurizes and
             # the micro-batch is fully consumed before the next one starts.
-            dataset = model.serving_dataset(queries, buffers=self._feature_buffers)
+            # The lease scopes one micro-batch's scratch lifetime: if no
+            # array grew, the batch counts as served from recycled capacity
+            # (surfaced as ``feature_arena_reuse_rate``).
+            with self._feature_buffers.lease():
+                dataset = model.serving_dataset(queries, buffers=self._feature_buffers)
         else:
             dataset = model.serving_dataset(queries)
         featurization_seconds = time.perf_counter() - start

@@ -57,6 +57,15 @@ class ServiceStats(PredictionTiming):
     #: Bytes pinned by the service's reusable featurization buffers (0 when
     #: the model does not support the zero-copy featurize-into path).
     feature_buffer_bytes: int = 0
+    #: Peak bytes the featurization arena has ever pinned (survives resets
+    #: and model swaps — the stable capacity-planning number).
+    feature_arena_high_water_bytes: int = 0
+    #: Fraction of featurization micro-batches served entirely from recycled
+    #: arena capacity (no allocation); approaches 1.0 once warm.
+    feature_arena_reuse_rate: float = 0.0
+    #: Fraction of inference runs served entirely from recycled engine
+    #: scratch (mean over replicas; 0 when the model hides the pool).
+    scratch_reuse_rate: float = 0.0
     #: Queries rejected by admission control (bounded queue, reject policy).
     shed_queries: int = 0
     #: Queries answered by the fallback because the model path was down.
@@ -207,6 +216,9 @@ class StatsAccumulator:
         cache_evictions: int = 0,
         scratch_high_water_bytes: int = 0,
         feature_buffer_bytes: int = 0,
+        feature_arena_high_water_bytes: int = 0,
+        feature_arena_reuse_rate: float = 0.0,
+        scratch_reuse_rate: float = 0.0,
         breaker_state: str = BreakerState.CLOSED,
         breaker_opens: int = 0,
     ) -> ServiceStats:
@@ -214,6 +226,9 @@ class StatsAccumulator:
             return ServiceStats(
                 scratch_high_water_bytes=scratch_high_water_bytes,
                 feature_buffer_bytes=feature_buffer_bytes,
+                feature_arena_high_water_bytes=feature_arena_high_water_bytes,
+                feature_arena_reuse_rate=feature_arena_reuse_rate,
+                scratch_reuse_rate=scratch_reuse_rate,
                 num_queries=self.num_queries,
                 featurization_seconds=self.featurization_seconds,
                 inference_seconds=self.inference_seconds,

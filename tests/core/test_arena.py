@@ -1,0 +1,143 @@
+"""Tests of the generation-tagged grow-only scratch arena.
+
+Contracts: capacities never shrink within a generation, ``reset`` releases
+storage but keeps the high-water mark, ``advance_generation`` resets the
+grow-only guarantee, leases count micro-batches served entirely from
+recycled capacity, and ``drop_rows_above`` enforces the capacity cap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.arena import ScratchArena
+
+
+class TestAllocation:
+    def test_array_has_requested_shape_and_dtype(self):
+        arena = ScratchArena()
+        view = arena.array("a", 5, 3, np.float32)
+        assert view.shape == (5, 3)
+        assert view.dtype == np.float32
+
+    def test_zeroed_returns_zeros_even_after_dirty_use(self):
+        arena = ScratchArena()
+        view = arena.array("a", 4, 2, np.float64)
+        view[...] = 7.0
+        again = arena.zeroed("a", 4, 2, np.float64)
+        np.testing.assert_array_equal(again, np.zeros((4, 2)))
+
+    def test_views_alias_the_cached_buffer(self):
+        arena = ScratchArena()
+        first = arena.array("a", 8, 2, np.float64)
+        second = arena.array("a", 3, 2, np.float64)
+        assert second.base is first.base
+
+    def test_distinct_names_are_independent(self):
+        arena = ScratchArena()
+        a = arena.array("a", 4, 2, np.float64)
+        b = arena.array("b", 4, 2, np.float64)
+        a[...] = 1.0
+        b[...] = 2.0
+        assert float(arena.array("a", 4, 2, np.float64)[0, 0]) == 1.0
+
+
+class TestGrowthPolicy:
+    def test_capacity_never_shrinks_within_a_generation(self):
+        arena = ScratchArena()
+        arena.array("a", 100, 4, np.float64)
+        big = arena.nbytes
+        arena.array("a", 1, 4, np.float64)
+        assert arena.nbytes == big
+
+    def test_growth_is_monotone(self):
+        arena = ScratchArena()
+        sizes = []
+        for rows in (1, 7, 3, 64, 2):
+            arena.array("a", rows, 4, np.float64)
+            sizes.append(arena.nbytes)
+        assert sizes == sorted(sizes)
+        assert arena.nbytes == 64 * 4 * 8
+
+    def test_width_change_reallocates_at_requested_rows(self):
+        arena = ScratchArena()
+        arena.array("a", 100, 4, np.float64)
+        view = arena.array("a", 10, 6, np.float64)
+        assert view.base.shape == (10, 6)
+
+    def test_dtype_change_reallocates(self):
+        arena = ScratchArena()
+        arena.array("a", 10, 4, np.float64)
+        view = arena.array("a", 10, 4, np.float32)
+        assert view.base.dtype == np.float32
+
+
+class TestGenerations:
+    def test_reset_releases_storage_but_keeps_high_water(self):
+        arena = ScratchArena()
+        arena.array("a", 50, 8, np.float64)
+        peak = arena.high_water_bytes
+        assert peak > 0
+        arena.reset()
+        assert arena.nbytes == 0
+        assert arena.high_water_bytes == peak
+
+    def test_advance_generation_bumps_generation_and_resets(self):
+        arena = ScratchArena()
+        arena.array("a", 50, 8, np.float64)
+        generation = arena.generation
+        new_generation = arena.advance_generation()
+        assert new_generation == generation + 1
+        assert arena.generation == new_generation
+        assert arena.nbytes == 0
+
+    def test_high_water_tracks_the_peak_total(self):
+        arena = ScratchArena()
+        arena.array("a", 10, 4, np.float64)
+        arena.array("b", 20, 4, np.float64)
+        expected = (10 + 20) * 4 * 8
+        assert arena.high_water_bytes == expected
+        arena.reset()
+        arena.array("a", 5, 4, np.float64)
+        assert arena.high_water_bytes == expected
+
+
+class TestLeases:
+    def test_first_lease_grows_later_leases_reuse(self):
+        arena = ScratchArena()
+        with arena.lease():
+            arena.array("a", 16, 4, np.float64)
+        assert arena.reuse_rate == 0.0
+        for _ in range(3):
+            with arena.lease():
+                arena.array("a", 16, 4, np.float64)
+        assert arena.reuse_rate == pytest.approx(3 / 4)
+
+    def test_nested_leases_count_once(self):
+        arena = ScratchArena()
+        arena.array("a", 4, 4, np.float64)
+        with arena.lease():
+            with arena.lease():
+                arena.array("a", 4, 4, np.float64)
+        assert arena.reuse_rate == 1.0
+
+    def test_reuse_rate_without_leases_is_zero(self):
+        assert ScratchArena().reuse_rate == 0.0
+
+
+class TestRowsCap:
+    def test_drop_rows_above_evicts_only_oversized_buffers(self):
+        arena = ScratchArena()
+        arena.array("small", 4, 2, np.float64)
+        arena.array("large", 100, 2, np.float64)
+        arena.drop_rows_above(8)
+        assert "small" in arena._arrays
+        assert "large" not in arena._arrays
+
+    def test_drop_rows_above_keeps_high_water(self):
+        arena = ScratchArena()
+        arena.array("large", 100, 2, np.float64)
+        peak = arena.high_water_bytes
+        arena.drop_rows_above(8)
+        assert arena.high_water_bytes == peak

@@ -1,0 +1,161 @@
+"""Tests of the precompiled featurizer plan.
+
+Contracts: the compiled-plan path is bit-identical to the interpreted
+gather for every variant and dtype, unknown vocabulary raises the exact
+legacy errors, the query cache is LRU-bounded, probe bitmaps are shared
+across queries, and plan cache hits keep bitmap-cache observability intact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import FeaturizationVariant
+from repro.core.encoding import SchemaEncoding
+from repro.core.featurization import CompiledFeaturizerPlan, QueryFeaturizer
+from repro.core.normalization import ValueNormalizer
+from repro.db.query import JoinCondition, Operator, Predicate, Query
+
+ALL_VARIANTS = tuple(FeaturizationVariant)
+
+
+@pytest.fixture(scope="module")
+def parts(tiny_database, tiny_samples):
+    encoding = SchemaEncoding.from_schema(tiny_database.schema)
+    value_normalizer = ValueNormalizer.from_database(tiny_database)
+    return encoding, value_normalizer, tiny_samples
+
+
+def make_featurizer(parts, compiled, variant=FeaturizationVariant.BITMAPS,
+                    dtype=np.float64, **kwargs):
+    encoding, value_normalizer, samples = parts
+    return QueryFeaturizer(
+        encoding, value_normalizer, samples=samples, variant=variant,
+        dtype=dtype, compiled=compiled, **kwargs
+    )
+
+
+def assert_ragged_equal(got, reference):
+    for name in ("tables", "joins", "predicates"):
+        a, b = getattr(got, name), getattr(reference, name)
+        assert a.features.dtype == b.features.dtype
+        assert a.features.tobytes() == b.features.tobytes(), name
+        assert a.offsets.tobytes() == b.offsets.tobytes(), name
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("variant", ALL_VARIANTS)
+    @pytest.mark.parametrize("dtype", (np.float32, np.float64))
+    def test_compiled_matches_interpreted(self, parts, tiny_workload, variant, dtype):
+        queries = [Query(tables=("title",))] + [
+            labelled.query for labelled in tiny_workload
+        ]
+        reference = make_featurizer(parts, False, variant, dtype).featurize_ragged(queries)
+        compiled = make_featurizer(parts, True, variant, dtype).featurize_ragged(queries)
+        assert_ragged_equal(compiled, reference)
+
+    def test_compiled_matches_interpreted_dataset_path(self, parts, tiny_workload):
+        queries = [labelled.query for labelled in tiny_workload]
+        cardinalities = [labelled.cardinality for labelled in tiny_workload]
+        reference = make_featurizer(parts, False).featurize_dataset(
+            queries, cardinalities=cardinalities
+        )
+        compiled = make_featurizer(parts, True).featurize_dataset(
+            queries, cardinalities=cardinalities
+        )
+        for name in (
+            "table_features",
+            "table_mask",
+            "join_features",
+            "join_mask",
+            "predicate_features",
+            "predicate_mask",
+        ):
+            got, want = getattr(compiled, name), getattr(reference, name)
+            assert got.dtype == want.dtype
+            assert got.tobytes() == want.tobytes(), name
+        np.testing.assert_array_equal(compiled.labels, reference.labels)
+
+
+class TestErrorMessages:
+    def test_unknown_table(self, parts):
+        featurizer = make_featurizer(parts, True)
+        with pytest.raises(KeyError, match="not part of the encoded schema"):
+            featurizer.featurize_ragged([Query(tables=("nonexistent",))])
+
+    def test_unknown_column(self, parts, tiny_database):
+        featurizer = make_featurizer(parts, True)
+        # Predicates on key columns are not predicable.
+        query = Query(
+            tables=("title",),
+            predicates=(Predicate("title", "id", Operator.GT, 0),),
+        )
+        with pytest.raises(KeyError, match="not a predicable"):
+            featurizer.featurize_ragged([query])
+
+
+class TestQueryCache:
+    def test_repeat_queries_hit_the_compiled_cache(self, parts, tiny_workload):
+        featurizer = make_featurizer(parts, True)
+        queries = [labelled.query for labelled in tiny_workload[:20]]
+        featurizer.featurize_ragged(queries)
+        plan = featurizer.plan()
+        misses = plan.cache_misses
+        featurizer.featurize_ragged(queries)
+        assert plan.cache_misses == misses
+        assert plan.cache_hits >= len(queries)
+
+    def test_cache_is_bounded_and_evicts_lru(self, parts, tiny_workload):
+        encoding, value_normalizer, samples = parts
+        featurizer = QueryFeaturizer(
+            encoding, value_normalizer, samples=samples, compiled=True
+        )
+        plan = CompiledFeaturizerPlan(featurizer, max_cached_queries=8)
+        queries = [labelled.query for labelled in tiny_workload[:20]]
+        for query in queries:
+            plan.compile_query(query)
+        assert plan.num_cached_queries <= 8
+        assert plan.cache_evictions >= len(queries) - 8
+        # The most recently compiled query is still cached.
+        hits = plan.cache_hits
+        plan.compile_query(queries[-1])
+        assert plan.cache_hits == hits + 1
+
+    def test_invalid_cache_cap_rejected(self, parts):
+        featurizer = make_featurizer(parts, True)
+        with pytest.raises(ValueError):
+            CompiledFeaturizerPlan(featurizer, max_cached_queries=0)
+
+
+class TestProbeSharing:
+    def test_identical_probes_share_one_matrix_row(self, parts):
+        featurizer = make_featurizer(parts, True)
+        plan = featurizer.plan()
+        # Two distinct queries with the same (table, predicates) probe.
+        first = Query(
+            tables=("title",),
+            predicates=(Predicate("title", "production_year", Operator.GT, 1990),),
+        )
+        second = Query(
+            tables=("title", "movie_companies"),
+            joins=(JoinCondition("movie_companies", "movie_id", "title", "id"),),
+            predicates=(Predicate("title", "production_year", Operator.GT, 1990),),
+        )
+        a = plan.compile_query(first)
+        b = plan.compile_query(second)
+        title_probe_a = int(a.probe_ids[0])
+        title_probe_b = int(b.probe_ids[list(second.tables).index("title")])
+        assert title_probe_a == title_probe_b
+
+    def test_plan_cache_hits_credit_the_bitmap_cache(self, parts, tiny_workload):
+        encoding, value_normalizer, samples = parts
+        featurizer = QueryFeaturizer(
+            encoding, value_normalizer, samples=samples, compiled=True
+        )
+        queries = [labelled.query for labelled in tiny_workload[:15]]
+        featurizer.featurize_ragged(queries)
+        hits_before = samples.bitmap_cache_hits
+        featurizer.featurize_ragged(queries)
+        num_probes = sum(len(q.tables) for q in queries)
+        assert samples.bitmap_cache_hits - hits_before == num_probes

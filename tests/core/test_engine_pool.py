@@ -266,6 +266,67 @@ class TestScratchAccounting:
         with pytest.raises(ValueError):
             InferenceEngine(model, dtype=np.float64, scratch_rows_cap=0)
 
+    def test_scratch_reuse_rate_warms_to_one(self, pool_parts, tiny_workload):
+        featurizer = make_featurizer(pool_parts)
+        model = make_model(featurizer)
+        dataset = featurizer.featurize_ragged(
+            [labelled.query for labelled in tiny_workload[:16]]
+        )
+        engine = InferenceEngine(model, dtype=np.float64)
+        engine.run(dataset)
+        first = engine.scratch_reuse_rate
+        for _ in range(4):
+            engine.run(dataset)
+        # The first run allocates; every later same-shape run recycles.
+        assert engine.scratch_reuse_rate > first
+        assert engine.scratch_reuse_rate == pytest.approx(4 / 5)
+
+    def test_scratch_accounting_races_refresh(self, pool_parts, tiny_workload):
+        """Regression: reset_scratch/scratch_bytes iterating the replica list
+        must snapshot it under the refresh lock, so a concurrent ``refresh``
+        (and concurrent accounting calls) can never interleave mid-walk."""
+        featurizer = make_featurizer(pool_parts)
+        model = make_model(featurizer)
+        dataset = featurizer.featurize_ragged(
+            [labelled.query for labelled in tiny_workload[:24]]
+        )
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        with EnginePool(model, num_replicas=3) as pool:
+            pool.run_many(dataset, chunk_size=6)
+
+            def hammer(action):
+                try:
+                    while not stop.is_set():
+                        action()
+                except BaseException as error:  # pragma: no cover - regression
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=hammer, args=(pool.refresh,)),
+                threading.Thread(target=hammer, args=(pool.reset_scratch,)),
+                threading.Thread(target=hammer, args=(pool.scratch_bytes,)),
+                threading.Thread(
+                    target=hammer, args=(lambda: pool.scratch_high_water_bytes,)
+                ),
+                threading.Thread(
+                    target=hammer, args=(lambda: pool.run_many(dataset, chunk_size=6),)
+                ),
+            ]
+            for thread in threads:
+                thread.start()
+            import time
+
+            time.sleep(0.5)
+            stop.set()
+            for thread in threads:
+                thread.join()
+            assert not errors, errors
+            # Accounting still coherent after the storm.
+            pool.run_many(dataset, chunk_size=6)
+            assert pool.scratch_high_water_bytes >= pool.scratch_bytes() >= 0
+
 
 class TestEstimatorIntegration:
     def test_pooled_estimator_matches_single_engine_estimator(

@@ -129,6 +129,93 @@ class TestFeaturizeInto:
             featurizer.featurize_into([], FeatureBuffers())
 
 
+class TestGrowthPolicy:
+    """The arena-backed buffers' growth contract, checked byte-for-byte."""
+
+    @pytest.mark.parametrize("warm_size", (1, 7))
+    def test_byte_identity_before_and_after_grow(
+        self, buffer_parts, workload_queries, warm_size
+    ):
+        featurizer = make_featurizer(buffer_parts)
+        buffers = FeatureBuffers()
+        # Warm with a tiny batch, then grow to the full workload: the grown
+        # featurization must be byte-identical to a fresh allocation.
+        featurizer.featurize_into(workload_queries[:warm_size], buffers)
+        grown = featurizer.featurize_into(workload_queries, buffers)
+        fresh = featurizer.featurize_into(workload_queries, FeatureBuffers())
+        for name in ("tables", "joins", "predicates"):
+            a, b = getattr(grown, name), getattr(fresh, name)
+            assert a.features.tobytes() == b.features.tobytes(), name
+            assert a.offsets.tobytes() == b.offsets.tobytes(), name
+
+    @pytest.mark.parametrize("oversize_first", (False, True))
+    def test_byte_identity_at_exact_and_oversized_capacity(
+        self, buffer_parts, workload_queries, oversize_first
+    ):
+        featurizer = make_featurizer(buffer_parts)
+        buffers = FeatureBuffers()
+        batch = workload_queries[:9]
+        if oversize_first:
+            # Oversized: capacity left over from a much larger batch.
+            featurizer.featurize_into(workload_queries, buffers)
+        else:
+            # Exact: capacity matches the batch precisely.
+            featurizer.featurize_into(batch, buffers)
+        reused = featurizer.featurize_into(batch, buffers)
+        fresh = featurizer.featurize_into(batch, FeatureBuffers())
+        for name in ("tables", "joins", "predicates"):
+            a, b = getattr(reused, name), getattr(fresh, name)
+            assert a.features.tobytes() == b.features.tobytes(), name
+
+    def test_capacity_never_shrinks_within_a_generation(
+        self, buffer_parts, workload_queries
+    ):
+        featurizer = make_featurizer(buffer_parts)
+        buffers = FeatureBuffers()
+        featurizer.featurize_into(workload_queries, buffers)
+        generation = buffers.generation
+        peak = buffers.nbytes
+        for size in (1, 7, 3):
+            featurizer.featurize_into(workload_queries[:size], buffers)
+            assert buffers.nbytes == peak
+        assert buffers.generation == generation
+
+    def test_generation_advance_resets_capacity(self, buffer_parts, workload_queries):
+        featurizer = make_featurizer(buffer_parts)
+        buffers = FeatureBuffers()
+        featurizer.featurize_into(workload_queries, buffers)
+        peak = buffers.nbytes
+        generation = buffers.generation
+        buffers.advance_generation()
+        assert buffers.generation == generation + 1
+        assert buffers.nbytes == 0
+        # Post-swap the buffers regrow to fit the new workload only.
+        featurizer.featurize_into(workload_queries[:3], buffers)
+        assert 0 < buffers.nbytes < peak
+
+    def test_service_swap_advances_the_buffer_generation(
+        self, tiny_database, tiny_samples, tiny_workload
+    ):
+        from repro.serving.service import EstimationService
+
+        config = MSCNConfig(
+            hidden_units=16, epochs=2, batch_size=32, num_samples=50, seed=3
+        )
+        estimator = MSCNEstimator(tiny_database, config, samples=tiny_samples)
+        estimator.fit(tiny_workload[:60])
+        service = EstimationService(estimator)
+        try:
+            queries = [labelled.query for labelled in tiny_workload[:10]]
+            service.estimate_many(queries)
+            assert service._feature_buffers.nbytes > 0
+            generation = service._feature_buffers.generation
+            service.swap_model(estimator)
+            assert service._feature_buffers.generation == generation + 1
+            assert service._feature_buffers.nbytes == 0
+        finally:
+            service.close()
+
+
 class TestEstimatorBuffersPath:
     def test_serving_dataset_into_buffers_matches_direct(
         self, tiny_database, tiny_samples, tiny_workload

@@ -1,0 +1,147 @@
+"""Tests of the process-parallel featurization tier.
+
+Contract: ``featurize_workers`` changes wall-clock behaviour only — the
+featurized arrays are bit-identical to the serial compiled path (and hence
+to the legacy interpreted path) at every worker count, for both dtypes.
+Workers receive a reduced database (sampled rows only), so the spans they
+gather must reproduce the parent's probe bitmaps exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import FeaturizationVariant, MSCNConfig
+from repro.core.encoding import SchemaEncoding
+from repro.core.featurization import QueryFeaturizer
+from repro.core.normalization import ValueNormalizer
+
+ALL_VARIANTS = tuple(FeaturizationVariant)
+
+
+@pytest.fixture(scope="module")
+def parts(tiny_database, tiny_samples):
+    encoding = SchemaEncoding.from_schema(tiny_database.schema)
+    value_normalizer = ValueNormalizer.from_database(tiny_database)
+    return encoding, value_normalizer, tiny_samples
+
+
+@pytest.fixture(scope="module")
+def queries(tiny_workload):
+    return [labelled.query for labelled in tiny_workload]
+
+
+def make_featurizer(parts, dtype=np.float64, variant=FeaturizationVariant.BITMAPS,
+                    **kwargs):
+    encoding, value_normalizer, samples = parts
+    return QueryFeaturizer(
+        encoding, value_normalizer, samples=samples, variant=variant,
+        dtype=dtype, **kwargs
+    )
+
+
+def assert_ragged_equal(got, reference):
+    for name in ("tables", "joins", "predicates"):
+        a, b = getattr(got, name), getattr(reference, name)
+        assert a.features.dtype == b.features.dtype, name
+        assert a.features.tobytes() == b.features.tobytes(), name
+        assert a.offsets.tobytes() == b.offsets.tobytes(), name
+
+
+class TestBitIdentityAcrossWorkerCounts:
+    @pytest.mark.parametrize("dtype", (np.float32, np.float64))
+    @pytest.mark.parametrize("workers", (0, 1, 2, 7))
+    def test_ragged_matches_serial_legacy(self, parts, queries, dtype, workers):
+        reference = make_featurizer(parts, dtype, compiled=False).featurize_ragged(
+            queries
+        )
+        featurizer = make_featurizer(
+            parts, dtype, featurize_workers=workers, min_parallel_queries=2
+        )
+        try:
+            assert_ragged_equal(featurizer.featurize_ragged(queries), reference)
+        finally:
+            featurizer.close()
+
+    @pytest.mark.parametrize("variant", ALL_VARIANTS)
+    def test_every_variant_parallel_matches_serial(self, parts, queries, variant):
+        reference = make_featurizer(
+            parts, variant=variant, compiled=False
+        ).featurize_ragged(queries)
+        featurizer = make_featurizer(
+            parts, variant=variant, featurize_workers=2, min_parallel_queries=2
+        )
+        try:
+            assert_ragged_equal(featurizer.featurize_ragged(queries), reference)
+        finally:
+            featurizer.close()
+
+    def test_per_call_override_beats_constructor_budget(self, parts, queries):
+        featurizer = make_featurizer(parts, featurize_workers=2, min_parallel_queries=2)
+        try:
+            reference = make_featurizer(parts, compiled=False).featurize_ragged(queries)
+            # Override down to serial for this one call.
+            assert_ragged_equal(
+                featurizer.featurize_ragged(queries, featurize_workers=0), reference
+            )
+            assert featurizer._featurize_pool is None, "override kept it serial"
+        finally:
+            featurizer.close()
+
+    def test_dataset_path_parallel_matches_serial(self, parts, queries, tiny_workload):
+        cardinalities = [labelled.cardinality for labelled in tiny_workload]
+        reference = make_featurizer(parts, compiled=False).featurize_dataset(
+            queries, cardinalities=cardinalities
+        )
+        featurizer = make_featurizer(parts, featurize_workers=2, min_parallel_queries=2)
+        try:
+            parallel = featurizer.featurize_dataset(queries, cardinalities=cardinalities)
+        finally:
+            featurizer.close()
+        assert parallel.table_features.tobytes() == reference.table_features.tobytes()
+        assert (
+            parallel.predicate_features.tobytes()
+            == reference.predicate_features.tobytes()
+        )
+        np.testing.assert_array_equal(parallel.labels, reference.labels)
+
+
+class TestBudgetSemantics:
+    def test_small_workloads_stay_in_process(self, parts, queries):
+        featurizer = make_featurizer(
+            parts, featurize_workers=2, min_parallel_queries=10_000
+        )
+        featurizer.featurize_ragged(queries)
+        assert featurizer._featurize_pool is None
+
+    @pytest.mark.parametrize("junk", (-1, 2.5, "fast", True, False))
+    def test_junk_budgets_rejected_eagerly(self, parts, junk):
+        with pytest.raises(ValueError):
+            make_featurizer(parts, featurize_workers=junk)
+
+    def test_config_validates_and_threads_the_budget(self, tiny_database, tiny_samples):
+        from repro.core.estimator import MSCNEstimator
+
+        config = MSCNConfig(num_samples=50, featurize_workers=2)
+        estimator = MSCNEstimator(tiny_database, config, samples=tiny_samples)
+        assert estimator.featurizer.featurize_workers == 2
+        with pytest.raises(ValueError):
+            MSCNConfig(featurize_workers="junk")
+
+    def test_workload_config_validates_the_budget(self):
+        from repro.workload.generator import WorkloadConfig
+
+        assert WorkloadConfig(featurize_workers=0).featurize_workers == 0
+        with pytest.raises(ValueError):
+            WorkloadConfig(featurize_workers=-3)
+
+    def test_close_is_idempotent_and_pool_respawns(self, parts, queries):
+        featurizer = make_featurizer(parts, featurize_workers=2, min_parallel_queries=2)
+        reference = make_featurizer(parts, compiled=False).featurize_ragged(queries)
+        assert_ragged_equal(featurizer.featurize_ragged(queries), reference)
+        featurizer.close()
+        featurizer.close()
+        # The pool is rebuilt lazily on the next parallel gather.
+        assert_ragged_equal(featurizer.featurize_ragged(queries), reference)
+        featurizer.close()

@@ -421,6 +421,24 @@ class TestZeroCopyAndPooledServing:
         # model's engine pool recorded its scratch peak.
         assert stats.feature_buffer_bytes > 0
         assert stats.scratch_high_water_bytes > 0
+        # Arena observability: the high water covers the live footprint and
+        # the reuse rates are well-formed fractions.
+        assert stats.feature_arena_high_water_bytes >= stats.feature_buffer_bytes
+        assert 0.0 <= stats.feature_arena_reuse_rate <= 1.0
+        assert 0.0 <= stats.scratch_reuse_rate <= 1.0
+
+    def test_repeat_micro_batches_reuse_the_feature_arena(
+        self, serving_estimator, serving_queries
+    ):
+        with EstimationService(serving_estimator) as service:
+            # Distinct queries per round so every micro-batch misses the
+            # cache and actually featurizes; the first (largest) batch grows
+            # the arena, the smaller later batches recycle its capacity.
+            service.estimate_many(serving_queries[:80])
+            service.estimate_many(serving_queries[80:100])
+            service.estimate_many(serving_queries[100:])
+            stats = service.stats()
+        assert stats.feature_arena_reuse_rate > 0.0
 
     def test_pooled_low_precision_model_serves_identically_to_direct(
         self, tiny_database, tiny_samples, tiny_workload, serving_queries
